@@ -1,0 +1,104 @@
+// Command benchfig regenerates every table and figure of the paper's
+// evaluation from the simulation substrate:
+//
+//	benchfig -fig3     cycles/transaction, arbitrated crossbar (Figure 3)
+//	benchfig -fig6     SoC tests, TLM vs RTL cosim (Figure 6)
+//	benchfig -qor      HLS vs hand RTL ±10% table (§2.2)
+//	benchfig -xbar     src-loop vs dst-loop crossbar sweep (§2.4)
+//	benchfig -gals     pausible clocking latency + area overhead (§3.1)
+//	benchfig -backend  floorplan, clocking, 12-hour turnaround (§3, §4)
+//	benchfig -prod     gates/engineer-day estimate (§4)
+//	benchfig -all      everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gals"
+	"repro/internal/matchlib"
+	"repro/internal/noc"
+	"repro/internal/soc"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "Figure 3: crossbar cycles/transaction")
+	fig6 := flag.Bool("fig6", false, "Figure 6: SoC TLM vs RTL cosim")
+	qor := flag.Bool("qor", false, "§2.2 HLS vs hand-RTL QoR table")
+	xbar := flag.Bool("xbar", false, "§2.4 crossbar coding sweep")
+	galsF := flag.Bool("gals", false, "§3.1 GALS clocking results")
+	backend := flag.Bool("backend", false, "§3/§4 back-end reports")
+	prod := flag.Bool("prod", false, "§4 productivity estimate")
+	nocF := flag.Bool("noc", false, "NoC load-latency characterization")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	if !(*fig3 || *fig6 || *qor || *xbar || *galsF || *backend || *prod || *nocF || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	flow := core.DefaultFlow()
+
+	if *all || *fig3 {
+		rows := matchlib.RunFig3([]int{2, 4, 8, 16}, 300, 7)
+		matchlib.PrintFig3(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *qor {
+		rows, err := core.QoRTable(flow)
+		check(err)
+		core.PrintQoRTable(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *xbar {
+		rows, err := core.XbarSweep(flow, []int{4, 8, 16, 32}, 32)
+		check(err)
+		core.PrintXbarSweep(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *galsF {
+		fmt.Println("Fine-grained GALS (§3.1)")
+		e := gals.RunMarginExperiment(900, 0.10, 5_000_000, 11)
+		fmt.Printf("  adaptive clock generator: fixed %.1f MHz vs adaptive %.1f MHz (+%.1f%% margin recovered at 10%% droop)\n",
+			e.FixedMHz, e.AdaptiveMHz, e.GainPct)
+		for _, g := range []int{100_000, 300_000, 500_000, 1_000_000, 2_000_000} {
+			o := gals.GALSOverhead(g, 2)
+			fmt.Printf("  %v\n", o)
+		}
+		const year = 365.25 * 24 * 3600
+		fmt.Printf("  brute-force 2-flop synchronizer MTBF at 1.1 GHz: %.3g years (pausible: error-free by construction)\n",
+			gals.SyncMTBF(2, 909, 3636)/year)
+		fmt.Println()
+	}
+	if *all || *backend {
+		core.PrintBackendReport(os.Stdout, flow)
+		fmt.Println()
+	}
+	if *all || *prod {
+		rows, err := core.ProductivityTable(flow)
+		check(err)
+		core.PrintProductivity(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *all || *nocF {
+		pts := noc.LoadLatencySweep(4, 4, []float64{0.02, 0.05, 0.10, 0.20, 0.40, 0.60}, 4000, 2, 7)
+		noc.PrintLoadLatency(os.Stdout, 4, 4, pts)
+		fmt.Println()
+	}
+	if *all || *fig6 {
+		fmt.Println("(Figure 6 runs full gate-level shadow cosimulation; this takes a minute)")
+		rows, err := soc.RunFig6(5_000_000)
+		check(err)
+		soc.PrintFig6(os.Stdout, rows)
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Command socsim runs the prototype SoC's system-level tests under the
+// selected simulation model and clocking style, reporting elapsed cycles,
+// wall time, and per-node traffic statistics — the workflow behind the
+// paper's Figure 6 and §4 case study.
+//
+//	socsim -test conv1d -mode rtl
+//	socsim -test all -gals
+//	socsim -test vecadd -stall 0.2 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/connections"
+	"repro/internal/soc"
+	"repro/internal/trace"
+)
+
+func main() {
+	testName := flag.String("test", "all", "SoC test: memcpy|vecadd|dot|conv1d|kmeans|maxpool|all")
+	mode := flag.String("mode", "tlm", "channel model: tlm (sim-accurate) | signal | rtl")
+	galsOn := flag.Bool("gals", false, "fine-grained GALS: one clock generator per partition")
+	shadow := flag.Bool("shadow", false, "gate-level shadow cosimulation of PE datapaths (rtl mode)")
+	stall := flag.Float64("stall", 0, "stall-injection probability on every channel")
+	seed := flag.Int64("seed", 1, "stall-injection seed")
+	stats := flag.Bool("stats", false, "print per-node traffic statistics")
+	powerF := flag.Bool("power", false, "print the architectural power breakdown")
+	vcd := flag.String("vcd", "", "write a VCD waveform of all node packet channels to this file")
+	maxCycles := flag.Uint64("maxcycles", 10_000_000, "cycle budget")
+	flag.Parse()
+
+	cfg := soc.DefaultConfig()
+	switch *mode {
+	case "tlm":
+		cfg.Mode = connections.ModeSimAccurate
+	case "signal":
+		cfg.Mode = connections.ModeSignalAccurate
+	case "rtl":
+		cfg.Mode = connections.ModeRTLCosim
+	default:
+		fmt.Fprintf(os.Stderr, "socsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	cfg.GALS = *galsOn
+	cfg.ShadowNetlists = *shadow
+	cfg.StallP = *stall
+	cfg.StallSeed = *seed
+
+	any := false
+	for _, tc := range append(soc.Tests(), soc.ExtraTests()...) {
+		if *testName != "all" && tc.Name != *testName {
+			continue
+		}
+		any = true
+		s, verify := tc.Build(cfg)
+		var vcdFile *os.File
+		if *vcd != "" {
+			f, err := os.Create(*vcd)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "socsim:", err)
+				os.Exit(1)
+			}
+			vcdFile = f
+			s.TraceChannels(trace.NewVCD(f))
+		}
+		start := time.Now()
+		cycles, err := s.Run(*maxCycles)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "socsim: %s: %v\n", tc.Name, err)
+			os.Exit(1)
+		}
+		status := "PASS"
+		if err := verify(s); err != nil {
+			status = fmt.Sprintf("FAIL (%v)", err)
+		}
+		fmt.Printf("%-8s %s  %8d cycles  %10s  %d instret", tc.Name, status, cycles,
+			wall.Round(time.Millisecond), s.RV.CPU.Instret)
+		if cfg.GALS {
+			fmt.Printf("  %d clock pauses", s.Pauses())
+		}
+		if vcdFile != nil {
+			if err := vcdFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "socsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s\n", *vcd)
+		}
+		fmt.Println()
+		if *powerF {
+			s.PowerEstimate(cycles, 1100).Print(os.Stdout)
+		}
+		if *stats {
+			for i, pe := range s.PEs {
+				st := pe.Stats
+				fmt.Printf("  pe%-2d  in %4d pkts  out %4d pkts  kernels %3d  words in %5d out %5d\n",
+					i, st.PacketsIn, st.PacketsOut, st.Kernels, st.WritesIn, st.ReadsOut)
+			}
+			for _, n := range []struct {
+				name string
+				n    *soc.MemNode
+			}{{"gml", s.GML}, {"gmr", s.GMR}, {"io", s.IO}} {
+				st := n.n.Stats
+				fmt.Printf("  %-4s  in %4d pkts  out %4d pkts  words in %5d out %5d\n",
+					n.name, st.PacketsIn, st.PacketsOut, st.WritesIn, st.ReadsOut)
+			}
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "socsim: unknown test %q\n", *testName)
+		os.Exit(2)
+	}
+}

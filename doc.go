@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "A Modular Digital
+// VLSI Flow for High-Productivity SoC Design" (Khailany et al., DAC 2018):
+// the Connections latency-insensitive channel library, the MatchLib
+// hardware-component library, an HLS-to-gates compilation flow with logic
+// synthesis, static timing, and power analysis, fine-grained GALS
+// clocking with pausible bisynchronous FIFOs, and the paper's 16-PE
+// machine-learning prototype SoC with its RISC-V controller.
+//
+// The library packages live under internal/; the runnable entry points
+// are the commands under cmd/ (socsim, flowrun, benchfig) and the
+// programs under examples/. See README.md for a tour, DESIGN.md for the
+// system inventory and substitutions, and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package repro

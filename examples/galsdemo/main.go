@@ -1,0 +1,94 @@
+// GALS demo: fine-grained globally-asynchronous locally-synchronous
+// clocking (§3.1).
+//
+// Two partitions run on independent, deliberately near-aliased clocks.
+// Data crosses through a pausible bisynchronous FIFO and through a
+// brute-force two-flop-synchronizer FIFO; both are error-free, but the
+// pausible design crosses with far lower latency, occasionally
+// stretching the receiver clock. The adaptive-clock margin experiment
+// and the <3% area-overhead table follow.
+//
+//	go run ./examples/galsdemo
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/gals"
+	"repro/internal/sim"
+)
+
+func crossing(pausible bool) {
+	s := sim.New()
+	tx := s.AddClock("tx", 1000, 0)
+	rx := s.AddClock("rx", 1007, 13) // 0.7% frequency offset: worst-case CDC
+
+	const n = 2000
+	var push func(th *sim.Thread, v int)
+	var pop func(th *sim.Thread) int
+	var pausesFn func() uint64
+	if pausible {
+		f := gals.NewPausibleBisyncFIFO[int](s, "pf", tx, rx, 4, 40)
+		push, pop = f.Push, f.Pop
+		pausesFn = func() uint64 { return f.Pauses }
+	} else {
+		f := gals.NewBruteForceSyncFIFO[int](tx, rx, 4)
+		push, pop = f.Push, f.Pop
+		pausesFn = func() uint64 { return 0 }
+	}
+
+	// Lightly loaded traffic: latency then reflects the synchronizer,
+	// not queueing.
+	var latSum, got sim.Time
+	sendTime := make([]sim.Time, n)
+	tx.Spawn("producer", func(th *sim.Thread) {
+		for i := 0; i < n; i++ {
+			sendTime[i] = s.Now()
+			push(th, i)
+			th.WaitN(4)
+		}
+	})
+	rx.Spawn("consumer", func(th *sim.Thread) {
+		for i := 0; i < n; i++ {
+			v := pop(th)
+			if v != i {
+				panic("loss/dup/reorder across clock domains")
+			}
+			latSum += s.Now() - sendTime[v]
+			got++
+			th.Wait()
+		}
+		th.Sim().Stop()
+	})
+	s.Run(sim.Infinity - 1)
+
+	name := "brute-force 2-flop FIFO"
+	if pausible {
+		name = "pausible bisync FIFO  "
+	}
+	fmt.Printf("  %s: %d msgs error-free, mean crossing latency %5.0f ps, %d receiver-clock pauses\n",
+		name, got, float64(latSum)/float64(got), pausesFn())
+}
+
+func main() {
+	fmt.Println("Clock-domain crossing, tx=1.000 GHz vs rx=0.993 GHz:")
+	crossing(true)
+	crossing(false)
+
+	fmt.Println("\nAdaptive local clock generation under 10% supply droop:")
+	e := gals.RunMarginExperiment(900, 0.10, 5_000_000, 3)
+	fmt.Printf("  fixed-margin clock: %6.1f MHz\n  adaptive clock:     %6.1f MHz (+%.1f%% recovered)\n",
+		e.FixedMHz, e.AdaptiveMHz, e.GainPct)
+
+	fmt.Println("\nGALS area overhead by partition size (paper: <3% for typical partitions):")
+	for _, g := range []int{100_000, 300_000, 500_000, 1_000_000, 2_000_000} {
+		fmt.Printf("  %v\n", gals.GALSOverhead(g, 2))
+	}
+
+	fmt.Println("\nWhy 'error-free' matters — brute-force synchronizer MTBF at 1.1 GHz:")
+	const year = 365.25 * 24 * 3600
+	for n := 1; n <= 3; n++ {
+		mtbf := gals.SyncMTBF(n, 909, 3636)
+		fmt.Printf("  %d-flop: %10.3g years (pausible clocking: no failure mode at all)\n", n, mtbf/year)
+	}
+}

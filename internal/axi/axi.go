@@ -1,0 +1,196 @@
+// Package axi implements the MatchLib AXI components (Table 2): typed
+// read/write address, data and response channels in the style of AXI4,
+// master and slave interface bundles, a slave adapter over a memory
+// array, an arbitrated interconnect, and bridges between AXI and simple
+// request/response LI channels.
+//
+// The model follows the five-channel AXI split — AW, W, AR, R, B — with
+// bursts of consecutive beats (INCR). Each channel is an ordinary
+// latency-insensitive channel from internal/connections, so AXI traffic
+// composes with every channel mode, stall injection, and retiming option.
+package axi
+
+import (
+	"fmt"
+
+	"repro/internal/connections"
+	"repro/internal/matchlib"
+	"repro/internal/sim"
+)
+
+// WriteAddr is one AW-channel beat: a write burst announcement.
+type WriteAddr struct {
+	ID   int
+	Addr int
+	Len  int // beats in the burst (1..)
+}
+
+// WriteData is one W-channel beat.
+type WriteData struct {
+	Data uint64
+	Last bool
+}
+
+// WriteResp is one B-channel beat.
+type WriteResp struct {
+	ID int
+	OK bool
+}
+
+// ReadAddr is one AR-channel beat: a read burst request.
+type ReadAddr struct {
+	ID   int
+	Addr int
+	Len  int
+}
+
+// ReadData is one R-channel beat.
+type ReadData struct {
+	ID   int
+	Data uint64
+	Last bool
+	OK   bool
+}
+
+// Master is the port bundle a bus master holds.
+type Master struct {
+	AW *connections.Out[WriteAddr]
+	W  *connections.Out[WriteData]
+	B  *connections.In[WriteResp]
+	AR *connections.Out[ReadAddr]
+	R  *connections.In[ReadData]
+}
+
+// Slave is the port bundle a bus slave holds.
+type Slave struct {
+	AW *connections.In[WriteAddr]
+	W  *connections.In[WriteData]
+	B  *connections.Out[WriteResp]
+	AR *connections.In[ReadAddr]
+	R  *connections.Out[ReadData]
+}
+
+// NewMaster returns an unbound master bundle.
+func NewMaster() *Master {
+	return &Master{
+		AW: connections.NewOut[WriteAddr](),
+		W:  connections.NewOut[WriteData](),
+		B:  connections.NewIn[WriteResp](),
+		AR: connections.NewOut[ReadAddr](),
+		R:  connections.NewIn[ReadData](),
+	}
+}
+
+// NewSlave returns an unbound slave bundle.
+func NewSlave() *Slave {
+	return &Slave{
+		AW: connections.NewIn[WriteAddr](),
+		W:  connections.NewIn[WriteData](),
+		B:  connections.NewOut[WriteResp](),
+		AR: connections.NewIn[ReadAddr](),
+		R:  connections.NewOut[ReadData](),
+	}
+}
+
+// Connect binds a master bundle to a slave bundle with Buffer channels of
+// the given depth on all five AXI channels.
+func Connect(clk *sim.Clock, name string, depth int, m *Master, s *Slave, opts ...connections.Option) {
+	connections.Buffer(clk, name+".aw", depth, m.AW, s.AW, opts...)
+	connections.Buffer(clk, name+".w", depth, m.W, s.W, opts...)
+	connections.Buffer(clk, name+".b", depth, s.B, m.B, opts...)
+	connections.Buffer(clk, name+".ar", depth, m.AR, s.AR, opts...)
+	connections.Buffer(clk, name+".r", depth, s.R, m.R, opts...)
+}
+
+// MemSlave serves AXI bursts from a word-addressed memory array.
+type MemSlave struct {
+	Port *Slave
+	Mem  *matchlib.MemArray[uint64]
+}
+
+// NewMemSlave builds a memory-backed slave of sizeWords.
+func NewMemSlave(clk *sim.Clock, name string, sizeWords int) *MemSlave {
+	return NewMemSlaveBacked(clk, name, matchlib.NewMemArray[uint64](sizeWords, 1))
+}
+
+// NewMemSlaveBacked builds a slave over an existing memory array, giving
+// the array a second (AXI) port — how the SoC's global memory exposes a
+// control-plane view to the RISC-V besides its NoC data plane.
+func NewMemSlaveBacked(clk *sim.Clock, name string, mem *matchlib.MemArray[uint64]) *MemSlave {
+	ms := &MemSlave{Port: NewSlave(), Mem: mem}
+	// Write engine: one AW, then its W beats, then one B.
+	clk.Spawn(name+".wr", func(th *sim.Thread) {
+		for {
+			aw := ms.Port.AW.Pop(th)
+			ok := true
+			for i := 0; i < aw.Len; i++ {
+				wd := ms.Port.W.Pop(th)
+				addr := aw.Addr + i
+				if addr < 0 || addr >= ms.Mem.Size() {
+					ok = false
+				} else {
+					ms.Mem.Write(addr, wd.Data)
+				}
+				if wd.Last != (i == aw.Len-1) {
+					panic(fmt.Sprintf("axi: %s burst length mismatch (beat %d of %d, last=%v)", name, i+1, aw.Len, wd.Last))
+				}
+				th.Wait()
+			}
+			ms.Port.B.Push(th, WriteResp{ID: aw.ID, OK: ok})
+			th.Wait()
+		}
+	})
+	// Read engine: one AR, then its R beats.
+	clk.Spawn(name+".rd", func(th *sim.Thread) {
+		for {
+			ar := ms.Port.AR.Pop(th)
+			for i := 0; i < ar.Len; i++ {
+				addr := ar.Addr + i
+				rd := ReadData{ID: ar.ID, Last: i == ar.Len-1}
+				if addr >= 0 && addr < ms.Mem.Size() {
+					rd.Data = ms.Mem.Read(addr)
+					rd.OK = true
+				}
+				ms.Port.R.Push(th, rd)
+				th.Wait()
+			}
+		}
+	})
+	return ms
+}
+
+// WriteBurst issues a complete write transaction from thread context and
+// waits for the response. It is the master-side convenience used by
+// testbenches and the RISC-V controller.
+func (m *Master) WriteBurst(th *sim.Thread, id, addr int, data []uint64) bool {
+	m.AW.Push(th, WriteAddr{ID: id, Addr: addr, Len: len(data)})
+	for i, d := range data {
+		m.W.Push(th, WriteData{Data: d, Last: i == len(data)-1})
+		th.Wait()
+	}
+	for {
+		b := m.B.Pop(th)
+		if b.ID == id {
+			return b.OK
+		}
+	}
+}
+
+// ReadBurst issues a complete read transaction and collects the beats.
+func (m *Master) ReadBurst(th *sim.Thread, id, addr, n int) ([]uint64, bool) {
+	m.AR.Push(th, ReadAddr{ID: id, Addr: addr, Len: n})
+	data := make([]uint64, 0, n)
+	ok := true
+	for {
+		r := m.R.Pop(th)
+		if r.ID != id {
+			continue
+		}
+		data = append(data, r.Data)
+		ok = ok && r.OK
+		if r.Last {
+			return data, ok
+		}
+		th.Wait()
+	}
+}

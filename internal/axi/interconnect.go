@@ -1,0 +1,206 @@
+package axi
+
+import (
+	"fmt"
+
+	"repro/internal/connections"
+	"repro/internal/matchlib"
+	"repro/internal/sim"
+)
+
+// Region maps an address window onto a slave. Addresses are translated to
+// slave-local (zero-based) addresses when forwarded.
+type Region struct {
+	Base, Size int
+	Slave      int
+}
+
+// Interconnect is an N-master, M-slave AXI crossbar with address-map
+// decoding, per-slave round-robin arbitration, and in-order response
+// routing back to the originating master.
+type Interconnect struct {
+	// MasterPorts[i] is the slave-side bundle master i connects to.
+	MasterPorts []*Slave
+	// SlavePorts[j] is the master-side bundle driving slave j.
+	SlavePorts []*Master
+
+	regions []Region
+}
+
+// NewInterconnect builds the crossbar for nMasters masters and the slaves
+// named by the address map.
+func NewInterconnect(clk *sim.Clock, name string, nMasters int, regions []Region) *Interconnect {
+	nSlaves := 0
+	for _, r := range regions {
+		if r.Slave >= nSlaves {
+			nSlaves = r.Slave + 1
+		}
+	}
+	ic := &Interconnect{regions: regions}
+	for i := 0; i < nMasters; i++ {
+		ic.MasterPorts = append(ic.MasterPorts, NewSlave())
+	}
+	for j := 0; j < nSlaves; j++ {
+		ic.SlavePorts = append(ic.SlavePorts, NewMaster())
+	}
+	for j := 0; j < nSlaves; j++ {
+		j := j
+		wArb := matchlib.NewArbiter(nMasters)
+		rArb := matchlib.NewArbiter(nMasters)
+		// Origin queues: which master each in-flight transaction on this
+		// slave belongs to, in issue order (slaves respond in order).
+		worig := matchlib.NewFIFO[wOrigin](16)
+		rorig := matchlib.NewFIFO[wOrigin](16)
+
+		clk.Spawn(fmt.Sprintf("%s.s%d.wr", name, j), func(th *sim.Thread) {
+			for {
+				m := ic.pickPending(wArb, j, true)
+				if m < 0 || worig.Full() {
+					th.Wait()
+					continue
+				}
+				mp := ic.MasterPorts[m]
+				aw, _ := mp.AW.PopNB(th)
+				local, ok := ic.translate(aw.Addr, aw.Len, j)
+				if !ok {
+					panic(fmt.Sprintf("axi: write burst at %#x crosses region boundary", aw.Addr))
+				}
+				worig.Push(wOrigin{master: m, id: aw.ID})
+				ic.SlavePorts[j].AW.Push(th, WriteAddr{ID: j, Addr: local, Len: aw.Len})
+				for i := 0; i < aw.Len; i++ {
+					wd := mp.W.Pop(th)
+					ic.SlavePorts[j].W.Push(th, wd)
+					th.Wait()
+				}
+			}
+		})
+		clk.Spawn(fmt.Sprintf("%s.s%d.wrsp", name, j), func(th *sim.Thread) {
+			for {
+				b := ic.SlavePorts[j].B.Pop(th)
+				o := worig.Pop()
+				ic.MasterPorts[o.master].B.Push(th, WriteResp{ID: o.id, OK: b.OK})
+				th.Wait()
+			}
+		})
+		clk.Spawn(fmt.Sprintf("%s.s%d.rd", name, j), func(th *sim.Thread) {
+			for {
+				m := ic.pickPending(rArb, j, false)
+				if m < 0 || rorig.Full() {
+					th.Wait()
+					continue
+				}
+				mp := ic.MasterPorts[m]
+				ar, _ := mp.AR.PopNB(th)
+				local, ok := ic.translate(ar.Addr, ar.Len, j)
+				if !ok {
+					panic(fmt.Sprintf("axi: read burst at %#x crosses region boundary", ar.Addr))
+				}
+				rorig.Push(wOrigin{master: m, id: ar.ID})
+				ic.SlavePorts[j].AR.Push(th, ReadAddr{ID: j, Addr: local, Len: ar.Len})
+				th.Wait()
+			}
+		})
+		clk.Spawn(fmt.Sprintf("%s.s%d.rrsp", name, j), func(th *sim.Thread) {
+			for {
+				r := ic.SlavePorts[j].R.Pop(th)
+				o := rorig.Peek()
+				ic.MasterPorts[o.master].R.Push(th, ReadData{ID: o.id, Data: r.Data, Last: r.Last, OK: r.OK})
+				if r.Last {
+					rorig.Pop()
+				}
+				th.Wait()
+			}
+		})
+	}
+	return ic
+}
+
+type wOrigin struct {
+	master, id int
+}
+
+// pickPending round-robin selects a master whose AW (write) or AR (read)
+// head decodes to slave j, or -1.
+func (ic *Interconnect) pickPending(arb *matchlib.Arbiter, j int, write bool) int {
+	var req uint64
+	for m, mp := range ic.MasterPorts {
+		if write {
+			if aw, ok := mp.AW.Peek(); ok && ic.slaveOf(aw.Addr) == j {
+				req |= 1 << uint(m)
+			}
+		} else {
+			if ar, ok := mp.AR.Peek(); ok && ic.slaveOf(ar.Addr) == j {
+				req |= 1 << uint(m)
+			}
+		}
+	}
+	return arb.Pick(req)
+}
+
+func (ic *Interconnect) slaveOf(addr int) int {
+	for _, r := range ic.regions {
+		if addr >= r.Base && addr < r.Base+r.Size {
+			return r.Slave
+		}
+	}
+	return -1
+}
+
+// translate converts addr to slave-local form and checks the burst stays
+// inside one region.
+func (ic *Interconnect) translate(addr, n, j int) (int, bool) {
+	for _, r := range ic.regions {
+		if r.Slave == j && addr >= r.Base && addr < r.Base+r.Size {
+			if addr+n > r.Base+r.Size {
+				return 0, false
+			}
+			return addr - r.Base, true
+		}
+	}
+	return 0, false
+}
+
+// Req is a simple single-word LI request, the non-AXI side of the bridge.
+type Req struct {
+	Write bool
+	Addr  int
+	Data  uint64
+}
+
+// Resp answers a Req.
+type Resp struct {
+	Data uint64
+	OK   bool
+}
+
+// Bridge adapts a simple request/response LI channel pair to an AXI
+// master bundle — the "bridges for AXI interconnect" entry of Table 2.
+type Bridge struct {
+	Req  *connections.In[Req]
+	Rsp  *connections.Out[Resp]
+	Port *Master
+}
+
+// NewBridge builds a bridge issuing single-beat AXI transactions with the
+// given transaction ID.
+func NewBridge(clk *sim.Clock, name string, id int) *Bridge {
+	b := &Bridge{
+		Req:  connections.NewIn[Req](),
+		Rsp:  connections.NewOut[Resp](),
+		Port: NewMaster(),
+	}
+	clk.Spawn(name+".bridge", func(th *sim.Thread) {
+		for {
+			req := b.Req.Pop(th)
+			if req.Write {
+				ok := b.Port.WriteBurst(th, id, req.Addr, []uint64{req.Data})
+				b.Rsp.Push(th, Resp{OK: ok})
+			} else {
+				data, ok := b.Port.ReadBurst(th, id, req.Addr, 1)
+				b.Rsp.Push(th, Resp{Data: data[0], OK: ok})
+			}
+			th.Wait()
+		}
+	})
+	return b
+}

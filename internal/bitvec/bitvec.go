@@ -1,0 +1,385 @@
+// Package bitvec provides arbitrary-width bit vectors used throughout the
+// flow wherever bit-accurate hardware values are needed: RTL netlist
+// simulation, packetization of latency-insensitive channel messages, and
+// the serializer/deserializer components.
+//
+// A Vec is a value type: operations return new vectors and never alias the
+// operands. Widths are explicit; binary operations require equal widths and
+// panic otherwise, mirroring the strict width discipline of synthesizable
+// hardware datatypes (sc_bv / sc_uint).
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vec is an unsigned bit vector of a fixed width.
+// The zero value is a zero-width vector.
+type Vec struct {
+	width int
+	words []uint64
+}
+
+// New returns a zero vector of the given width in bits.
+func New(width int) Vec {
+	if width < 0 {
+		panic("bitvec: negative width")
+	}
+	return Vec{width: width, words: make([]uint64, nwords(width))}
+}
+
+// FromUint64 returns a vector of the given width holding v truncated to width.
+func FromUint64(v uint64, width int) Vec {
+	x := New(width)
+	if width == 0 {
+		return x
+	}
+	x.words[0] = v
+	x.mask()
+	return x
+}
+
+// FromWords returns a vector of the given width from little-endian 64-bit words.
+// Excess high bits are truncated.
+func FromWords(words []uint64, width int) Vec {
+	x := New(width)
+	copy(x.words, words)
+	x.mask()
+	return x
+}
+
+// FromBytes returns a vector from little-endian bytes.
+func FromBytes(b []byte, width int) Vec {
+	x := New(width)
+	for i, v := range b {
+		if i/8 >= len(x.words) {
+			break
+		}
+		x.words[i/8] |= uint64(v) << (8 * (i % 8))
+	}
+	x.mask()
+	return x
+}
+
+func nwords(width int) int { return (width + wordBits - 1) / wordBits }
+
+// mask clears bits above width in the top word.
+func (x *Vec) mask() {
+	if x.width == 0 || len(x.words) == 0 {
+		return
+	}
+	rem := x.width % wordBits
+	if rem != 0 {
+		x.words[len(x.words)-1] &= (1 << rem) - 1
+	}
+}
+
+// Width returns the width in bits.
+func (x Vec) Width() int { return x.width }
+
+// Clone returns an independent copy of x.
+func (x Vec) Clone() Vec {
+	y := Vec{width: x.width, words: make([]uint64, len(x.words))}
+	copy(y.words, x.words)
+	return y
+}
+
+// Uint64 returns the low 64 bits of x.
+func (x Vec) Uint64() uint64 {
+	if len(x.words) == 0 {
+		return 0
+	}
+	return x.words[0]
+}
+
+// Bit returns bit i (0 = LSB).
+func (x Vec) Bit(i int) uint {
+	if i < 0 || i >= x.width {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range [0,%d)", i, x.width))
+	}
+	return uint(x.words[i/wordBits]>>(i%wordBits)) & 1
+}
+
+// SetBit returns a copy of x with bit i set to b.
+func (x Vec) SetBit(i int, b uint) Vec {
+	if i < 0 || i >= x.width {
+		panic(fmt.Sprintf("bitvec: bit index %d out of range [0,%d)", i, x.width))
+	}
+	y := x.Clone()
+	if b&1 == 1 {
+		y.words[i/wordBits] |= 1 << (i % wordBits)
+	} else {
+		y.words[i/wordBits] &^= 1 << (i % wordBits)
+	}
+	return y
+}
+
+// IsZero reports whether all bits are clear.
+func (x Vec) IsZero() bool {
+	for _, w := range x.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the population count.
+func (x Vec) OnesCount() int {
+	n := 0
+	for _, w := range x.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (x Vec) checkSame(y Vec, op string) {
+	if x.width != y.width {
+		panic(fmt.Sprintf("bitvec: %s width mismatch %d vs %d", op, x.width, y.width))
+	}
+}
+
+// And returns x & y. Widths must match.
+func (x Vec) And(y Vec) Vec {
+	x.checkSame(y, "And")
+	z := x.Clone()
+	for i := range z.words {
+		z.words[i] &= y.words[i]
+	}
+	return z
+}
+
+// Or returns x | y. Widths must match.
+func (x Vec) Or(y Vec) Vec {
+	x.checkSame(y, "Or")
+	z := x.Clone()
+	for i := range z.words {
+		z.words[i] |= y.words[i]
+	}
+	return z
+}
+
+// Xor returns x ^ y. Widths must match.
+func (x Vec) Xor(y Vec) Vec {
+	x.checkSame(y, "Xor")
+	z := x.Clone()
+	for i := range z.words {
+		z.words[i] ^= y.words[i]
+	}
+	return z
+}
+
+// Not returns ^x within width.
+func (x Vec) Not() Vec {
+	z := x.Clone()
+	for i := range z.words {
+		z.words[i] = ^z.words[i]
+	}
+	z.mask()
+	return z
+}
+
+// Add returns (x + y) mod 2^width. Widths must match.
+func (x Vec) Add(y Vec) Vec {
+	x.checkSame(y, "Add")
+	z := x.Clone()
+	var carry uint64
+	for i := range z.words {
+		s, c1 := bits.Add64(z.words[i], y.words[i], carry)
+		z.words[i] = s
+		carry = c1
+	}
+	z.mask()
+	return z
+}
+
+// Sub returns (x - y) mod 2^width. Widths must match.
+func (x Vec) Sub(y Vec) Vec {
+	x.checkSame(y, "Sub")
+	z := x.Clone()
+	var borrow uint64
+	for i := range z.words {
+		d, b1 := bits.Sub64(z.words[i], y.words[i], borrow)
+		z.words[i] = d
+		borrow = b1
+	}
+	z.mask()
+	return z
+}
+
+// Mul returns (x * y) mod 2^width. Widths must match.
+func (x Vec) Mul(y Vec) Vec {
+	x.checkSame(y, "Mul")
+	z := New(x.width)
+	for i, xw := range x.words {
+		if xw == 0 {
+			continue
+		}
+		var carry uint64
+		for j := 0; i+j < len(z.words); j++ {
+			hi, lo := bits.Mul64(xw, y.words[j])
+			var c uint64
+			z.words[i+j], c = bits.Add64(z.words[i+j], lo, 0)
+			carry2 := c
+			z.words[i+j], c = bits.Add64(z.words[i+j], carry, 0)
+			carry2 += c
+			carry = hi + carry2
+		}
+	}
+	z.mask()
+	return z
+}
+
+// Shl returns x << n within width.
+func (x Vec) Shl(n int) Vec {
+	if n < 0 {
+		panic("bitvec: negative shift")
+	}
+	z := New(x.width)
+	if n >= x.width {
+		return z
+	}
+	wordShift, bitShift := n/wordBits, uint(n%wordBits)
+	for i := len(z.words) - 1; i >= wordShift; i-- {
+		z.words[i] = x.words[i-wordShift] << bitShift
+		if bitShift != 0 && i-wordShift-1 >= 0 {
+			z.words[i] |= x.words[i-wordShift-1] >> (wordBits - bitShift)
+		}
+	}
+	z.mask()
+	return z
+}
+
+// Shr returns x >> n (logical).
+func (x Vec) Shr(n int) Vec {
+	if n < 0 {
+		panic("bitvec: negative shift")
+	}
+	z := New(x.width)
+	if n >= x.width {
+		return z
+	}
+	wordShift, bitShift := n/wordBits, uint(n%wordBits)
+	for i := 0; i+wordShift < len(x.words); i++ {
+		z.words[i] = x.words[i+wordShift] >> bitShift
+		if bitShift != 0 && i+wordShift+1 < len(x.words) {
+			z.words[i] |= x.words[i+wordShift+1] << (wordBits - bitShift)
+		}
+	}
+	return z
+}
+
+// Eq reports x == y. Widths must match.
+func (x Vec) Eq(y Vec) bool {
+	x.checkSame(y, "Eq")
+	for i := range x.words {
+		if x.words[i] != y.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares x and y as unsigned integers: -1, 0, or +1. Widths must match.
+func (x Vec) Cmp(y Vec) int {
+	x.checkSame(y, "Cmp")
+	for i := len(x.words) - 1; i >= 0; i-- {
+		switch {
+		case x.words[i] < y.words[i]:
+			return -1
+		case x.words[i] > y.words[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Slice returns bits [lo, lo+width) of x as a new vector.
+func (x Vec) Slice(lo, width int) Vec {
+	if lo < 0 || width < 0 || lo+width > x.width {
+		panic(fmt.Sprintf("bitvec: slice [%d,%d) out of range [0,%d)", lo, lo+width, x.width))
+	}
+	return x.Shr(lo).Trunc(width)
+}
+
+// Trunc returns the low width bits of x.
+func (x Vec) Trunc(width int) Vec {
+	if width > x.width {
+		panic(fmt.Sprintf("bitvec: trunc to %d wider than %d", width, x.width))
+	}
+	z := New(width)
+	copy(z.words, x.words[:min(len(x.words), len(z.words))])
+	z.mask()
+	return z
+}
+
+// ZeroExtend returns x extended with zeros to the given width.
+func (x Vec) ZeroExtend(width int) Vec {
+	if width < x.width {
+		panic(fmt.Sprintf("bitvec: zero-extend to %d narrower than %d", width, x.width))
+	}
+	z := New(width)
+	copy(z.words, x.words)
+	return z
+}
+
+// SignExtend returns x sign-extended to the given width.
+func (x Vec) SignExtend(width int) Vec {
+	z := x.ZeroExtend(width)
+	if x.width > 0 && x.Bit(x.width-1) == 1 {
+		for i := x.width; i < width; i++ {
+			z.words[i/wordBits] |= 1 << (i % wordBits)
+		}
+	}
+	return z
+}
+
+// Concat returns {hi, x}: x occupies the low bits, hi the high bits.
+func (x Vec) Concat(hi Vec) Vec {
+	z := x.ZeroExtend(x.width + hi.width)
+	return z.Or(hi.ZeroExtend(z.width).Shl(x.width))
+}
+
+// Words returns a copy of the underlying little-endian words.
+func (x Vec) Words() []uint64 {
+	w := make([]uint64, len(x.words))
+	copy(w, x.words)
+	return w
+}
+
+// Bytes returns the vector as little-endian bytes, ceil(width/8) long.
+func (x Vec) Bytes() []byte {
+	n := (x.width + 7) / 8
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(x.words[i/8] >> (8 * (i % 8)))
+	}
+	return b
+}
+
+// String renders the vector as width'h<hex>.
+func (x Vec) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d'h", x.width)
+	digits := (x.width + 3) / 4
+	if digits == 0 {
+		sb.WriteString("0")
+		return sb.String()
+	}
+	for i := digits - 1; i >= 0; i-- {
+		nib := (x.words[i/16] >> (4 * (i % 16))) & 0xf
+		fmt.Fprintf(&sb, "%x", nib)
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

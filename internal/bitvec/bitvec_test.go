@@ -1,0 +1,276 @@
+package bitvec
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// toBig converts a Vec to a big.Int for reference checks.
+func toBig(x Vec) *big.Int {
+	z := new(big.Int)
+	for i := len(x.words) - 1; i >= 0; i-- {
+		z.Lsh(z, 64)
+		z.Or(z, new(big.Int).SetUint64(x.words[i]))
+	}
+	return z
+}
+
+func bigMask(width int) *big.Int {
+	m := big.NewInt(1)
+	m.Lsh(m, uint(width))
+	return m.Sub(m, big.NewInt(1))
+}
+
+func randVec(r *rand.Rand, width int) Vec {
+	x := New(width)
+	for i := range x.words {
+		x.words[i] = r.Uint64()
+	}
+	x.mask()
+	return x
+}
+
+func TestFromUint64Masks(t *testing.T) {
+	x := FromUint64(0xff, 4)
+	if got := x.Uint64(); got != 0xf {
+		t.Fatalf("FromUint64(0xff,4) = %#x, want 0xf", got)
+	}
+	if x.Width() != 4 {
+		t.Fatalf("width = %d, want 4", x.Width())
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	x := New(130)
+	x = x.SetBit(0, 1).SetBit(64, 1).SetBit(129, 1)
+	for _, i := range []int{0, 64, 129} {
+		if x.Bit(i) != 1 {
+			t.Errorf("bit %d = 0, want 1", i)
+		}
+	}
+	if x.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d, want 3", x.OnesCount())
+	}
+	x = x.SetBit(64, 0)
+	if x.Bit(64) != 0 {
+		t.Error("SetBit(64,0) did not clear")
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bit out of range did not panic")
+		}
+	}()
+	New(8).Bit(8)
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched widths did not panic")
+		}
+	}()
+	New(8).Add(New(9))
+}
+
+// Property: every arithmetic/logic op matches math/big modulo 2^width.
+func TestOpsMatchBig(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		width := 1 + r.Intn(200)
+		x, y := randVec(r, width), randVec(r, width)
+		bx, by, m := toBig(x), toBig(y), bigMask(width)
+
+		check := func(name string, got Vec, want *big.Int) {
+			t.Helper()
+			want.And(want, m)
+			if toBig(got).Cmp(want) != 0 {
+				t.Fatalf("width=%d %s: got %v want %v (x=%v y=%v)", width, name, toBig(got), want, bx, by)
+			}
+			if got.Width() != width {
+				t.Fatalf("%s result width %d != %d", name, got.Width(), width)
+			}
+		}
+		check("Add", x.Add(y), new(big.Int).Add(bx, by))
+		check("Sub", x.Sub(y), new(big.Int).Sub(new(big.Int).Add(bx, new(big.Int).Lsh(big.NewInt(1), uint(width))), by))
+		check("Mul", x.Mul(y), new(big.Int).Mul(bx, by))
+		check("And", x.And(y), new(big.Int).And(bx, by))
+		check("Or", x.Or(y), new(big.Int).Or(bx, by))
+		check("Xor", x.Xor(y), new(big.Int).Xor(bx, by))
+		check("Not", x.Not(), new(big.Int).Xor(bx, m))
+
+		n := r.Intn(width + 10)
+		check("Shl", x.Shl(n), new(big.Int).Lsh(bx, uint(n)))
+		check("Shr", x.Shr(n), new(big.Int).Rsh(bx, uint(n)))
+
+		if x.Eq(y) != (bx.Cmp(by) == 0) {
+			t.Fatalf("Eq mismatch")
+		}
+		if x.Cmp(y) != bx.Cmp(by) {
+			t.Fatalf("Cmp mismatch: %d vs %d", x.Cmp(y), bx.Cmp(by))
+		}
+	}
+}
+
+func TestSliceConcatRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 500; iter++ {
+		wlo := 1 + r.Intn(100)
+		whi := 1 + r.Intn(100)
+		lo, hi := randVec(r, wlo), randVec(r, whi)
+		cat := lo.Concat(hi)
+		if cat.Width() != wlo+whi {
+			t.Fatalf("concat width %d", cat.Width())
+		}
+		if !cat.Slice(0, wlo).Eq(lo) {
+			t.Fatalf("low slice mismatch")
+		}
+		if !cat.Slice(wlo, whi).Eq(hi) {
+			t.Fatalf("high slice mismatch")
+		}
+	}
+}
+
+func TestExtend(t *testing.T) {
+	x := FromUint64(0x80, 8)
+	if got := x.ZeroExtend(16).Uint64(); got != 0x80 {
+		t.Errorf("ZeroExtend = %#x", got)
+	}
+	if got := x.SignExtend(16).Uint64(); got != 0xff80 {
+		t.Errorf("SignExtend = %#x", got)
+	}
+	pos := FromUint64(0x7f, 8)
+	if got := pos.SignExtend(16).Uint64(); got != 0x7f {
+		t.Errorf("SignExtend positive = %#x", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	if err := quick.Check(func(b []byte) bool {
+		width := len(b) * 8
+		x := FromBytes(b, width)
+		out := x.Bytes()
+		if len(out) != len(b) {
+			return false
+		}
+		for i := range b {
+			if out[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		width := 1 + r.Intn(300)
+		x := randVec(r, width)
+		y := FromWords(x.Words(), width)
+		if !x.Eq(y) {
+			t.Fatalf("words round trip failed at width %d", width)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	x := FromUint64(0xabc, 12)
+	if got := x.String(); got != "12'habc" {
+		t.Errorf("String = %q, want 12'habc", got)
+	}
+	if got := New(0).String(); got != "0'h0" {
+		t.Errorf("zero-width String = %q", got)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !New(100).IsZero() {
+		t.Error("fresh vector not zero")
+	}
+	if FromUint64(1, 100).IsZero() {
+		t.Error("nonzero vector reported zero")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromUint64(5, 8)
+	y := x.Clone().SetBit(1, 1)
+	if x.Uint64() != 5 {
+		t.Errorf("clone mutated original: %#x", x.Uint64())
+	}
+	_ = y
+}
+
+// quick.Check invariants complementing the big.Int differential tests.
+
+func TestQuickDeMorgan(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		n := min(len(a), len(b))
+		if n == 0 {
+			return true
+		}
+		w := n * 8
+		x, y := FromBytes(a[:n], w), FromBytes(b[:n], w)
+		lhs := x.And(y).Not()
+		rhs := x.Not().Or(y.Not())
+		return lhs.Eq(rhs)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftRoundTrip(t *testing.T) {
+	if err := quick.Check(func(b []byte, sh uint8) bool {
+		if len(b) == 0 {
+			return true
+		}
+		w := len(b) * 8
+		n := int(sh) % w
+		x := FromBytes(b, w)
+		// Left then right shift preserves the low w-n bits.
+		got := x.Shl(n).Shr(n)
+		want := x.Trunc(w - n).ZeroExtend(w)
+		return got.Eq(want)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	if err := quick.Check(func(a, b []byte) bool {
+		n := min(len(a), len(b))
+		if n == 0 {
+			return true
+		}
+		w := n * 8
+		x, y := FromBytes(a[:n], w), FromBytes(b[:n], w)
+		return x.Add(y).Sub(y).Eq(x)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd256(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	x, y := randVec(r, 256), randVec(r, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Add(y)
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	x, y := randVec(r, 256), randVec(r, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}

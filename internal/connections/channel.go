@@ -1,0 +1,404 @@
+// Package connections implements the paper's Connections library:
+// latency-insensitive (LI) channels with unified In/Out ports that are
+// decoupled from the channel kind chosen at integration time (Table 1 and
+// Figure 2 of the paper).
+//
+// Three port-operation cost models are provided, selected per channel:
+//
+//   - ModeSimAccurate (default): the paper's sim-accurate model. Port
+//     operations stage data into endpoint buffers that a kernel-level
+//     channel process flushes at commit, so a thread loop touching any
+//     number of ports advances one cycle per iteration. Elapsed cycles
+//     match RTL throughput.
+//   - ModeSignalAccurate: the paper's synthesizable signal-accurate model.
+//     Every Push/PushNB/Pop/PopNB performs a delayed handshake operation —
+//     drive valid (or ready), wait one cycle, clear, sample the other
+//     side — so multiple port operations in one loop body serialize. This
+//     is the error source measured in Figure 3.
+//   - ModeRTLCosim: keeps the parallel transfer resolution of the
+//     sim-accurate model but packs every message to bits, carries it
+//     through a pipeline-register delay line, and unpacks on delivery.
+//     Elapsed cycles grow slightly (pipeline latency) and wall-clock cost
+//     grows substantially — the two properties measured in Figure 6.
+//
+// Channels can inject random stalls (withholding valid and/or ready) to
+// perturb inter-unit timing without changing design or testbench code,
+// reproducing the paper's verification aid.
+package connections
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"repro/internal/bitvec"
+	"repro/internal/sim"
+)
+
+// Mode selects the port-operation cost model of a channel.
+type Mode int
+
+const (
+	// ModeSimAccurate is the helper-process buffered model whose elapsed
+	// cycles match RTL throughput.
+	ModeSimAccurate Mode = iota
+	// ModeSignalAccurate charges one Wait per port operation, like the
+	// synthesizable SystemC handshake routines run under a sequential
+	// simulator.
+	ModeSignalAccurate
+	// ModeRTLCosim adds pipeline-register latency and bit-level message
+	// packing work to every transfer.
+	ModeRTLCosim
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSimAccurate:
+		return "sim-accurate"
+	case ModeSignalAccurate:
+		return "signal-accurate"
+	case ModeRTLCosim:
+		return "rtl-cosim"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Kind is the channel implementation selected at integration time
+// (Figure 2 of the paper).
+type Kind int
+
+const (
+	// KindCombinational connects ports with flow-through coupling in both
+	// directions and a single skid entry of storage.
+	KindCombinational Kind = iota
+	// KindBypass enables dequeue in the cycle an enqueue arrives to an
+	// empty channel (valid→consumer combinational path).
+	KindBypass
+	// KindPipeline enables enqueue into a full channel in the cycle a
+	// dequeue frees it (ready←consumer combinational path).
+	KindPipeline
+	// KindBuffer is a plain FIFO channel of configurable depth.
+	KindBuffer
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCombinational:
+		return "Combinational"
+	case KindBypass:
+		return "Bypass"
+	case KindPipeline:
+		return "Pipeline"
+	case KindBuffer:
+		return "Buffer"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stats accumulates per-channel traffic counters.
+type Stats struct {
+	Transfers    uint64 // messages delivered to the consumer side
+	PushAttempts uint64
+	PushFails    uint64 // attempts rejected (full or ready withheld)
+	PopAttempts  uint64
+	PopFails     uint64 // attempts rejected (empty or valid withheld)
+	StallCycles  uint64 // cycles with an injected stall active
+	OccupancySum uint64 // sum over cycles of committed occupancy
+	Cycles       uint64 // cycles observed
+}
+
+// MeanOccupancy returns the time-average committed occupancy.
+func (s Stats) MeanOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OccupancySum) / float64(s.Cycles)
+}
+
+// Option configures a channel at bind time.
+type Option func(*options)
+
+type options struct {
+	mode       Mode
+	latency    int // extra pipeline-register stages (retiming registers)
+	stallValid float64
+	stallReady float64
+	stallSeed  int64
+	packer     func(any) bitvec.Vec
+}
+
+// WithMode selects the port-operation cost model.
+func WithMode(m Mode) Option { return func(o *options) { o.mode = m } }
+
+// WithLatency inserts n retiming-register stages into the channel, the
+// paper's mechanism for easing timing pressure on inter-unit interfaces.
+func WithLatency(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			panic("connections: negative latency")
+		}
+		o.latency = n
+	}
+}
+
+// WithStall enables random stall injection: each cycle, valid is withheld
+// from the consumer with probability pValid and ready withheld from the
+// producer with probability pReady. The seed keeps runs reproducible.
+func WithStall(pValid, pReady float64, seed int64) Option {
+	return func(o *options) {
+		o.stallValid = pValid
+		o.stallReady = pReady
+		o.stallSeed = seed
+	}
+}
+
+// core is the shared channel implementation behind every kind.
+type core[T any] struct {
+	clk  *sim.Clock
+	name string
+	kind Kind
+	mode Mode
+	cap  int
+
+	queue []T // committed contents, front at index 0
+
+	// skid is the producer-side output buffer of the paper's sim-accurate
+	// model: a push lands here and the channel's commit process transmits
+	// it downstream when capacity allows. It holds at most one message,
+	// matching the one-transfer-per-cycle rate of a hardware port.
+	skid        []T
+	bypassTaken int // skid entries consumed via the bypass path this cycle
+	stagedPops  int // committed entries consumed this cycle
+
+	// Pipeline-register delay line for latency > 0 / RTL mode.
+	latency     int
+	inflightBuf []inflight[T]
+
+	// Signal-accurate per-endpoint handshake results.
+	lastPushOK bool
+
+	// Stall injection.
+	rng          *rand.Rand
+	pStallValid  float64
+	pStallReady  float64
+	stalledValid bool
+	stalledReady bool
+
+	pack func(any) bitvec.Vec
+
+	// RTL-cosim per-cycle signal evaluation state: the channel's wire
+	// image (head message bits plus handshake bits) is recomputed every
+	// cycle and toggles are accumulated, modelling what an RTL simulator
+	// does for every net and what an FSDB activity trace records.
+	rtlSigs    bitvec.Vec
+	rtlToggles uint64
+
+	stats Stats
+	bound bool
+}
+
+func newCore[T any](clk *sim.Clock, name string, kind Kind, capacity int, opts []Option) *core[T] {
+	if clk == nil {
+		panic("connections: nil clock for channel " + name)
+	}
+	if capacity < 1 {
+		panic(fmt.Sprintf("connections: channel %s capacity %d < 1", name, capacity))
+	}
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	c := &core[T]{
+		clk:         clk,
+		name:        name,
+		kind:        kind,
+		mode:        o.mode,
+		cap:         capacity,
+		latency:     o.latency,
+		pStallValid: o.stallValid,
+		pStallReady: o.stallReady,
+		pack:        o.packer,
+	}
+	if c.mode == ModeRTLCosim && c.latency == 0 {
+		c.latency = 1 // HLS-generated RTL always has at least one pipe stage
+	}
+	if c.pack == nil {
+		// Auto-detect Packable message types so RTL-cosim channels do
+		// bit-level work without explicit configuration.
+		var zero T
+		if _, ok := any(zero).(Packable); ok {
+			c.pack = func(v any) bitvec.Vec { return v.(Packable).PackBits() }
+		}
+	}
+	if c.pStallValid > 0 || c.pStallReady > 0 {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		c.rng = rand.New(rand.NewSource(o.stallSeed ^ int64(h.Sum64())))
+	}
+	if c.mode == ModeRTLCosim {
+		clk.AtDrive(c.rtlEval)
+	}
+	clk.AtCommit(c.commit)
+	return c
+}
+
+// rtlEval recomputes the channel's wire image once per cycle — the
+// signal-level evaluation cost an RTL simulator pays whether or not a
+// transfer happens — and accumulates switching activity for the power
+// trace.
+func (c *core[T]) rtlEval() {
+	var msg bitvec.Vec
+	if v, ok := c.peek(); ok && c.pack != nil {
+		msg = c.pack(v)
+	} else {
+		msg = bitvec.New(64)
+	}
+	// Handshake bits: valid, ready.
+	hs := bitvec.New(2)
+	if _, ok := c.peek(); ok {
+		hs = hs.SetBit(0, 1)
+	}
+	if c.skidFree() && !c.stalledReady {
+		hs = hs.SetBit(1, 1)
+	}
+	img := msg.Concat(hs)
+	if img.Width() == c.rtlSigs.Width() {
+		c.rtlToggles += uint64(img.Xor(c.rtlSigs).OnesCount())
+	} else if c.rtlSigs.Width() > 0 {
+		c.rtlToggles += uint64(img.OnesCount())
+	}
+	c.rtlSigs = img
+}
+
+// RTLToggles returns accumulated wire toggles in RTL-cosim mode — the
+// switching-activity feed for power analysis.
+func (c *core[T]) RTLToggles() uint64 { return c.rtlToggles }
+
+// skidFree reports whether the producer-side skid can accept a push.
+func (c *core[T]) skidFree() bool {
+	return len(c.skid)-c.bypassTaken < 1
+}
+
+// inflight is a message travelling through the channel's pipeline registers.
+type inflight[T any] struct {
+	v      T
+	mature uint64 // cycle at which the entry enters the visible queue
+}
+
+// tryPush attempts to place v in the producer skid. Success means the
+// message is committed to delivery (possibly after back-pressure delay);
+// failure means the port saw ready deasserted this cycle.
+func (c *core[T]) tryPush(v T) bool {
+	c.stats.PushAttempts++
+	if c.stalledReady || !c.skidFree() {
+		c.stats.PushFails++
+		return false
+	}
+	if c.mode == ModeRTLCosim && c.pack != nil {
+		// Bit-level signal work: pack the message as HLS-generated RTL
+		// would drive it onto the wires.
+		_ = c.pack(v)
+	}
+	c.skid = append(c.skid, v)
+	return true
+}
+
+// tryPop attempts to take one message, implementing the kind-specific valid
+// generation, including the Bypass/Combinational same-cycle bypass path.
+func (c *core[T]) tryPop() (T, bool) {
+	var zero T
+	c.stats.PopAttempts++
+	if c.stalledValid {
+		c.stats.PopFails++
+		return zero, false
+	}
+	if len(c.queue)-c.stagedPops > 0 {
+		v := c.queue[c.stagedPops]
+		c.stagedPops++
+		return v, true
+	}
+	if c.kind == KindBypass || c.kind == KindCombinational {
+		// The bypass path may only fire when no older message is still in
+		// flight; otherwise it would overtake and reorder.
+		if len(c.inflightBuf) == 0 && len(c.skid)-c.bypassTaken > 0 {
+			v := c.skid[c.bypassTaken]
+			c.bypassTaken++
+			return v, true
+		}
+	}
+	c.stats.PopFails++
+	return zero, false
+}
+
+// peek returns the head without consuming it.
+func (c *core[T]) peek() (T, bool) {
+	var zero T
+	if c.stalledValid {
+		return zero, false
+	}
+	if len(c.queue)-c.stagedPops > 0 {
+		return c.queue[c.stagedPops], true
+	}
+	return zero, false
+}
+
+// commit is the channel's kernel process: it latches this cycle's staged
+// operations, matures the delay line, and rolls next cycle's stalls.
+func (c *core[T]) commit() {
+	c.stats.Transfers += uint64(c.stagedPops + c.bypassTaken)
+	c.stats.Cycles++
+	c.stats.OccupancySum += uint64(len(c.queue))
+	if c.stalledValid || c.stalledReady {
+		c.stats.StallCycles++
+	}
+
+	// Retire consumed entries.
+	if c.stagedPops > 0 {
+		c.queue = c.queue[c.stagedPops:]
+		c.stagedPops = 0
+	}
+	if c.bypassTaken > 0 {
+		c.skid = c.skid[c.bypassTaken:]
+		c.bypassTaken = 0
+	}
+
+	// Mature delay-line entries.
+	now := c.clk.Cycle()
+	n := 0
+	for _, e := range c.inflightBuf {
+		if e.mature <= now {
+			c.queue = append(c.queue, e.v)
+		} else {
+			c.inflightBuf[n] = e
+			n++
+		}
+	}
+	c.inflightBuf = c.inflightBuf[:n]
+
+	// Transmit from the skid when downstream capacity allows — the
+	// helper-thread behaviour of the paper's sim-accurate model.
+	for len(c.skid) > 0 && len(c.queue)+len(c.inflightBuf) < c.cap+c.latency {
+		v := c.skid[0]
+		c.skid = c.skid[1:]
+		if c.latency == 0 {
+			c.queue = append(c.queue, v)
+		} else {
+			c.inflightBuf = append(c.inflightBuf, inflight[T]{v: v, mature: now + uint64(c.latency)})
+		}
+	}
+
+	if len(c.queue) > c.cap+c.latency {
+		panic(fmt.Sprintf("connections: channel %s overflow: %d > %d", c.name, len(c.queue), c.cap+c.latency))
+	}
+
+	// Roll stall injection for the next cycle.
+	if c.rng != nil {
+		c.stalledValid = c.rng.Float64() < c.pStallValid
+		c.stalledReady = c.rng.Float64() < c.pStallReady
+	}
+}
+
+// Stats returns a copy of the channel's counters.
+func (c *core[T]) Stats() Stats { return c.stats }

@@ -1,0 +1,101 @@
+package connections
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/sim"
+)
+
+// Flit is one link-width beat of a packetized message. Packetizer channels
+// produce flits and DePacketizer channels consume them; the NoC substrate
+// transports them between (Figure 2e of the paper).
+type Flit struct {
+	Data bitvec.Vec
+	Last bool
+}
+
+// PackBits renders the flit as {last, data} for RTL-cosim channels.
+func (f Flit) PackBits() bitvec.Vec {
+	last := bitvec.FromUint64(0, 1)
+	if f.Last {
+		last = bitvec.FromUint64(1, 1)
+	}
+	return f.Data.Concat(last)
+}
+
+// SplitFlits cuts a message's bits into flits of the given link width. The
+// final flit carries the remainder (zero-padded) and Last set.
+func SplitFlits(bits bitvec.Vec, flitWidth int) []Flit {
+	if flitWidth <= 0 {
+		panic("connections: flit width must be positive")
+	}
+	n := (bits.Width() + flitWidth - 1) / flitWidth
+	if n == 0 {
+		n = 1
+		bits = bitvec.New(flitWidth)
+	} else {
+		bits = bits.ZeroExtend(n * flitWidth)
+	}
+	flits := make([]Flit, n)
+	for i := 0; i < n; i++ {
+		flits[i] = Flit{Data: bits.Slice(i*flitWidth, flitWidth), Last: i == n-1}
+	}
+	return flits
+}
+
+// JoinFlits reassembles flit payloads into a message of msgWidth bits.
+func JoinFlits(flits []Flit, msgWidth int) bitvec.Vec {
+	acc := bitvec.New(0)
+	for _, f := range flits {
+		acc = acc.Concat(f.Data)
+	}
+	if acc.Width() < msgWidth {
+		panic(fmt.Sprintf("connections: %d flit bits < message width %d", acc.Width(), msgWidth))
+	}
+	return acc.Trunc(msgWidth)
+}
+
+// Packetizer converts messages to flit streams: the producer keeps an
+// ordinary Out[T] while the consumer side sees an In[Flit]. One flit leaves
+// per cycle, so a W-bit message over an F-bit link occupies ceil(W/F)
+// cycles — the serialization behaviour of the hardware implementation.
+func Packetizer[T Packable](clk *sim.Clock, name string, flitWidth, depth int, opts ...Option) (*Out[T], *In[Flit]) {
+	msgOut, msgIn := NewOut[T](), NewIn[T]()
+	Buffer(clk, name+".msg", depth, msgOut, msgIn, opts...)
+	flitOut, flitIn := NewOut[Flit](), NewIn[Flit]()
+	Buffer(clk, name+".flit", 2, flitOut, flitIn, opts...)
+	clk.Spawn(name+".packetizer", func(th *sim.Thread) {
+		for {
+			v := msgIn.Pop(th)
+			for _, f := range SplitFlits(v.PackBits(), flitWidth) {
+				flitOut.Push(th, f)
+				th.Wait()
+			}
+		}
+	})
+	return msgOut, flitIn
+}
+
+// DePacketizer reassembles flit streams back into messages: the producer
+// side pushes flits while the consumer keeps an ordinary In[T]. unpack
+// recovers the message from msgWidth bits.
+func DePacketizer[T any](clk *sim.Clock, name string, msgWidth, depth int, unpack func(bitvec.Vec) T, opts ...Option) (*Out[Flit], *In[T]) {
+	flitOut, flitIn := NewOut[Flit](), NewIn[Flit]()
+	Buffer(clk, name+".flit", 2, flitOut, flitIn, opts...)
+	msgOut, msgIn := NewOut[T](), NewIn[T]()
+	Buffer(clk, name+".msg", depth, msgOut, msgIn, opts...)
+	clk.Spawn(name+".depacketizer", func(th *sim.Thread) {
+		var acc []Flit
+		for {
+			f := flitIn.Pop(th)
+			acc = append(acc, f)
+			if f.Last {
+				msgOut.Push(th, unpack(JoinFlits(acc, msgWidth)))
+				acc = acc[:0]
+			}
+			th.Wait()
+		}
+	})
+	return flitOut, msgIn
+}

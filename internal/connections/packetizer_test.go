@@ -1,0 +1,143 @@
+package connections
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/sim"
+)
+
+// word is a simple Packable message for tests.
+type word struct{ v uint64 }
+
+func (w word) PackBits() bitvec.Vec { return bitvec.FromUint64(w.v, 48) }
+
+func unpackWord(b bitvec.Vec) word { return word{v: b.Uint64()} }
+
+func TestSplitJoinFlitsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 300; iter++ {
+		width := 1 + r.Intn(200)
+		flitW := 1 + r.Intn(64)
+		words := make([]uint64, (width+63)/64)
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		msg := bitvec.FromWords(words, width)
+		flits := SplitFlits(msg, flitW)
+		for i, f := range flits {
+			if f.Data.Width() != flitW {
+				t.Fatalf("flit %d width %d, want %d", i, f.Data.Width(), flitW)
+			}
+			if f.Last != (i == len(flits)-1) {
+				t.Fatalf("flit %d Last=%v", i, f.Last)
+			}
+		}
+		back := JoinFlits(flits, width)
+		if !back.Eq(msg) {
+			t.Fatalf("round trip failed: width=%d flitW=%d", width, flitW)
+		}
+	}
+}
+
+func TestPacketizerDePacketizerPipe(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+
+	// producer -> Packetizer -> (flit forwarder) -> DePacketizer -> consumer
+	msgOut, flitIn := Packetizer[word](clk, "pkt", 16, 2)
+	flitOut, msgIn := DePacketizer(clk, "dep", 48, 2, unpackWord)
+
+	clk.Spawn("link", func(th *sim.Thread) {
+		for {
+			f := flitIn.Pop(th)
+			flitOut.Push(th, f)
+			th.Wait()
+		}
+	})
+
+	const n = 20
+	clk.Spawn("producer", func(th *sim.Thread) {
+		for i := 0; i < n; i++ {
+			msgOut.Push(th, word{v: uint64(i)*0x10001 + 5})
+			th.Wait()
+		}
+	})
+	var got []word
+	clk.Spawn("consumer", func(th *sim.Thread) {
+		for len(got) < n {
+			got = append(got, msgIn.Pop(th))
+			th.Wait()
+		}
+		th.Sim().Stop()
+	})
+	s.Run(10_000_000)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("received %d, want %d", len(got), n)
+	}
+	for i, w := range got {
+		if want := uint64(i)*0x10001 + 5; w.v != want {
+			t.Fatalf("msg %d = %#x, want %#x", i, w.v, want)
+		}
+	}
+}
+
+func TestPacketizerSerializationRate(t *testing.T) {
+	// A 48-bit message over a 16-bit link needs 3 flits, so the flit
+	// stream must deliver at most one flit per cycle.
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	msgOut, flitIn := Packetizer[word](clk, "pkt", 16, 2)
+	clk.Spawn("producer", func(th *sim.Thread) {
+		for i := 0; ; i++ {
+			msgOut.Push(th, word{v: uint64(i)})
+			th.Wait()
+		}
+	})
+	var flits int
+	var start, end uint64
+	clk.Spawn("consumer", func(th *sim.Thread) {
+		for flits < 30 {
+			if _, ok := flitIn.PopNB(th); ok {
+				if flits == 0 {
+					start = th.Cycle()
+				}
+				flits++
+				end = th.Cycle()
+			}
+			th.Wait()
+		}
+		th.Sim().Stop()
+	})
+	s.Run(10_000_000)
+	if got := end - start; got < 29 {
+		t.Fatalf("30 flits in %d cycles — faster than 1 flit/cycle", got)
+	}
+}
+
+func TestJoinFlitsPanicsOnShortData(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JoinFlits with too few bits did not panic")
+		}
+	}()
+	JoinFlits([]Flit{{Data: bitvec.New(8), Last: true}}, 16)
+}
+
+func TestFlitPackBits(t *testing.T) {
+	f := Flit{Data: bitvec.FromUint64(0xab, 8), Last: true}
+	b := f.PackBits()
+	if b.Width() != 9 {
+		t.Fatalf("width = %d, want 9", b.Width())
+	}
+	if b.Bit(8) != 1 {
+		t.Fatal("last bit not set")
+	}
+	if b.Trunc(8).Uint64() != 0xab {
+		t.Fatal("payload corrupted")
+	}
+}

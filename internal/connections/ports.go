@@ -1,0 +1,227 @@
+package connections
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// In is a consumer-side port terminal. Module code holds an In and calls
+// Pop/PopNB regardless of which channel kind it is later bound to — the
+// polymorphic-port property of the Connections API (paper Table 1).
+type In[T any] struct {
+	ch *core[T]
+}
+
+// Out is a producer-side port terminal.
+type Out[T any] struct {
+	ch *core[T]
+}
+
+// NewIn returns an unbound consumer port.
+func NewIn[T any]() *In[T] { return &In[T]{} }
+
+// NewOut returns an unbound producer port.
+func NewOut[T any]() *Out[T] { return &Out[T]{} }
+
+func (p *In[T]) need() *core[T] {
+	if p.ch == nil {
+		panic("connections: Pop on unbound In port")
+	}
+	return p.ch
+}
+
+func (p *Out[T]) need() *core[T] {
+	if p.ch == nil {
+		panic("connections: Push on unbound Out port")
+	}
+	return p.ch
+}
+
+// Bound reports whether the port has been bound to a channel.
+func (p *In[T]) Bound() bool { return p.ch != nil }
+
+// Bound reports whether the port has been bound to a channel.
+func (p *Out[T]) Bound() bool { return p.ch != nil }
+
+// PopNB attempts to take one message without blocking. Under
+// ModeSignalAccurate it charges one Wait (the delayed ready operation).
+func (p *In[T]) PopNB(th *sim.Thread) (T, bool) {
+	c := p.need()
+	if c.mode == ModeSignalAccurate {
+		th.Wait()
+	}
+	return c.tryPop()
+}
+
+// Pop blocks until a message is available and returns it.
+func (p *In[T]) Pop(th *sim.Thread) T {
+	c := p.need()
+	for {
+		v, ok := p.PopNB(th)
+		if ok {
+			return v
+		}
+		if c.mode != ModeSignalAccurate {
+			th.Wait() // signal-accurate PopNB already waited
+		}
+	}
+}
+
+// Peek returns the head message without consuming it. It never charges a
+// wait and is intended for router/arbiter models.
+func (p *In[T]) Peek() (T, bool) { return p.need().peek() }
+
+// Empty reports whether a PopNB this cycle would fail.
+func (p *In[T]) Empty() bool {
+	c := p.need()
+	_, ok := c.peek()
+	return !ok
+}
+
+// Stats returns the bound channel's counters.
+func (p *In[T]) Stats() Stats { return p.need().Stats() }
+
+// PushNB attempts to send one message without blocking. Under
+// ModeSignalAccurate it charges one Wait (the delayed valid operation).
+func (p *Out[T]) PushNB(th *sim.Thread, v T) bool {
+	c := p.need()
+	if c.mode == ModeSignalAccurate {
+		ok := c.tryPush(v)
+		th.Wait()
+		return ok
+	}
+	return c.tryPush(v)
+}
+
+// Push blocks until the channel accepts the message.
+func (p *Out[T]) Push(th *sim.Thread, v T) {
+	c := p.need()
+	for {
+		if p.PushNB(th, v) {
+			return
+		}
+		if c.mode != ModeSignalAccurate {
+			th.Wait()
+		}
+	}
+}
+
+// Full reports whether a PushNB this cycle would fail for lack of space.
+func (p *Out[T]) Full() bool {
+	c := p.need()
+	return !c.skidFree() || c.stalledReady
+}
+
+// Stats returns the bound channel's counters.
+func (p *Out[T]) Stats() Stats { return p.need().Stats() }
+
+// Channel is the handle returned by Bind, exposing identity and counters.
+type Channel[T any] struct {
+	c *core[T]
+}
+
+// Name returns the channel's instance name.
+func (ch Channel[T]) Name() string { return ch.c.name }
+
+// Kind returns the channel implementation kind.
+func (ch Channel[T]) Kind() Kind { return ch.c.kind }
+
+// Mode returns the channel's port-operation cost model.
+func (ch Channel[T]) Mode() Mode { return ch.c.mode }
+
+// Stats returns the channel's traffic counters.
+func (ch Channel[T]) Stats() Stats { return ch.c.stats }
+
+// RTLToggles returns accumulated wire toggles (ModeRTLCosim only), the
+// switching-activity feed for power analysis.
+func (ch Channel[T]) RTLToggles() uint64 { return ch.c.rtlToggles }
+
+// Trace samples the channel's occupancy and handshake state into a VCD
+// waveform every cycle — the per-channel slice of the flow's signal
+// trace. Call before the simulation starts.
+func (ch Channel[T]) Trace(v *trace.VCD, name string) {
+	c := ch.c
+	occ := v.Declare(name+".occ", 8)
+	valid := v.Declare(name+".valid", 1)
+	ready := v.Declare(name+".ready", 1)
+	c.clk.AtMonitor(func() {
+		occ.Set(uint64(len(c.queue)))
+		var vb, rb uint64
+		if _, ok := c.peek(); ok {
+			vb = 1
+		}
+		if c.skidFree() && !c.stalledReady {
+			rb = 1
+		}
+		valid.Set(vb)
+		ready.Set(rb)
+		v.Sample(c.clk.Cycle())
+	})
+}
+
+// Occupancy returns the number of committed messages currently held.
+func (ch Channel[T]) Occupancy() int { return len(ch.c.queue) }
+
+// Bind creates a channel of the given kind on clk and attaches the two
+// port terminals to it. capacity is the FIFO depth for KindBuffer and is
+// ignored (forced to 1) for the other kinds.
+func Bind[T any](clk *sim.Clock, name string, kind Kind, capacity int, out *Out[T], in *In[T], opts ...Option) Channel[T] {
+	if out.ch != nil {
+		panic(fmt.Sprintf("connections: Out port already bound (channel %s)", name))
+	}
+	if in.ch != nil {
+		panic(fmt.Sprintf("connections: In port already bound (channel %s)", name))
+	}
+	if kind != KindBuffer {
+		capacity = 1
+	}
+	c := newCore[T](clk, name, kind, capacity, opts)
+	out.ch = c
+	in.ch = c
+	return Channel[T]{c: c}
+}
+
+// Combinational binds out/in with a flow-through channel.
+func Combinational[T any](clk *sim.Clock, name string, out *Out[T], in *In[T], opts ...Option) Channel[T] {
+	return Bind(clk, name, KindCombinational, 1, out, in, opts...)
+}
+
+// Bypass binds out/in with a 1-deep channel allowing dequeue-when-empty.
+func Bypass[T any](clk *sim.Clock, name string, out *Out[T], in *In[T], opts ...Option) Channel[T] {
+	return Bind(clk, name, KindBypass, 1, out, in, opts...)
+}
+
+// Pipeline binds out/in with a 1-deep channel allowing enqueue-when-full.
+func Pipeline[T any](clk *sim.Clock, name string, out *Out[T], in *In[T], opts ...Option) Channel[T] {
+	return Bind(clk, name, KindPipeline, 1, out, in, opts...)
+}
+
+// Buffer binds out/in with a FIFO channel of the given depth.
+func Buffer[T any](clk *sim.Clock, name string, depth int, out *Out[T], in *In[T], opts ...Option) Channel[T] {
+	return Bind(clk, name, KindBuffer, depth, out, in, opts...)
+}
+
+// Connect is a convenience that creates a fresh bound port pair.
+func Connect[T any](clk *sim.Clock, name string, kind Kind, capacity int, opts ...Option) (*Out[T], *In[T], Channel[T]) {
+	out, in := NewOut[T](), NewIn[T]()
+	ch := Bind(clk, name, kind, capacity, out, in, opts...)
+	return out, in, ch
+}
+
+// Packable is implemented by message types that can render themselves as
+// hardware bits; ModeRTLCosim channels and Packetizer channels require it.
+type Packable interface {
+	PackBits() bitvec.Vec
+}
+
+// WithPackable enables bit-level signal work in ModeRTLCosim for channels
+// whose message type implements Packable. Bind helpers call this
+// automatically when T implements Packable, so it is rarely needed.
+func WithPackable[T Packable]() Option {
+	return func(o *options) {
+		o.packer = func(v any) bitvec.Vec { return v.(T).PackBits() }
+	}
+}

@@ -1,0 +1,192 @@
+package gals
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PausibleBisyncFIFO is the pausible bisynchronous FIFO of the paper's
+// reference [8]: a dual-clock FIFO whose integrated pausible clocking
+// stretches the receiving clock whenever a pointer crossing lands inside
+// the synchronization conflict window, giving error-free crossings with
+// only the pause (typically a fraction of a cycle) as latency cost —
+// instead of the fixed two-cycle penalty of a brute-force synchronizer.
+//
+// Producer-side methods must be called from threads of the producer
+// clock, consumer-side methods from threads of the consumer clock.
+type PausibleBisyncFIFO[T any] struct {
+	prod, cons *sim.Clock
+	s          *sim.Simulator
+
+	buf  []entry[T]
+	wptr uint64
+	rptr uint64
+
+	// window is the metastability conflict window in picoseconds: a
+	// pointer change closer than this to the other domain's next edge
+	// pauses that edge.
+	window sim.Time
+
+	Pauses    uint64 // receiver-clock pauses caused by this FIFO
+	Transfers uint64
+}
+
+type entry[T any] struct {
+	v T
+}
+
+// NewPausibleBisyncFIFO builds a FIFO of the given depth between the two
+// clock domains. window is the conflict window in ps (a flop's
+// setup+hold aperture, typically tens of ps).
+func NewPausibleBisyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim.Clock, depth int, window sim.Time) *PausibleBisyncFIFO[T] {
+	if depth < 1 {
+		panic(fmt.Sprintf("gals: FIFO depth %d", depth))
+	}
+	return &PausibleBisyncFIFO[T]{
+		prod: prod, cons: cons, s: s,
+		buf:    make([]entry[T], depth),
+		window: window,
+	}
+}
+
+// pauseIfConflict implements the pausible handshake: a pointer that
+// toggles at the current instant may violate the aperture of the flops
+// sampling it in domain c; when the phase relationship puts the toggle
+// inside that window, the mutex stretches c's next edge just past it.
+// The pause is tiny (window ps), so the pessimistic phase test costs
+// almost nothing while guaranteeing an error-free crossing.
+func (f *PausibleBisyncFIFO[T]) pauseIfConflict(c *sim.Clock) {
+	now := uint64(f.s.Now())
+	p := uint64(c.Period())
+	if p == 0 {
+		return
+	}
+	phase := now % p
+	if phase > p-uint64(f.window) || phase < uint64(f.window) {
+		c.Pause(sim.Time(now) + f.window)
+		f.Pauses++
+	}
+}
+
+// PushNB offers v from the producer domain. It returns false when full.
+func (f *PausibleBisyncFIFO[T]) PushNB(v T) bool {
+	if f.wptr-f.rptr >= uint64(len(f.buf)) {
+		return false
+	}
+	f.buf[f.wptr%uint64(len(f.buf))] = entry[T]{v: v}
+	f.wptr++
+	// The write pointer crosses toward the consumer clock now.
+	f.pauseIfConflict(f.cons)
+	return true
+}
+
+// Push blocks (in producer-domain cycles) until accepted.
+func (f *PausibleBisyncFIFO[T]) Push(th *sim.Thread, v T) {
+	for !f.PushNB(v) {
+		th.Wait()
+	}
+}
+
+// PopNB takes a value in the consumer domain. It returns false when empty.
+func (f *PausibleBisyncFIFO[T]) PopNB() (T, bool) {
+	var zero T
+	if f.rptr == f.wptr {
+		return zero, false
+	}
+	v := f.buf[f.rptr%uint64(len(f.buf))].v
+	f.rptr++
+	f.Transfers++
+	// The read pointer crosses toward the producer clock now.
+	f.pauseIfConflict(f.prod)
+	return v, true
+}
+
+// Pop blocks (in consumer-domain cycles) until a value arrives.
+func (f *PausibleBisyncFIFO[T]) Pop(th *sim.Thread) T {
+	for {
+		if v, ok := f.PopNB(); ok {
+			return v
+		}
+		th.Wait()
+	}
+}
+
+// Occupancy returns the number of buffered entries.
+func (f *PausibleBisyncFIFO[T]) Occupancy() int { return int(f.wptr - f.rptr) }
+
+// BruteForceSyncFIFO is the baseline dual-clock FIFO: gray-coded pointers
+// cross through two-flop synchronizers, so each domain observes the other
+// side's pointer two of its own clock edges late. Crossing latency is
+// therefore ≥ 2 receiver cycles, but no clock is ever paused.
+type BruteForceSyncFIFO[T any] struct {
+	prod, cons *sim.Clock
+
+	buf  []entry[T]
+	wptr uint64
+	rptr uint64
+
+	// Two-stage synchronizer pipelines for each direction.
+	wptrSyncToCons [2]uint64
+	rptrSyncToProd [2]uint64
+
+	Transfers uint64
+}
+
+// NewBruteForceSyncFIFO builds the baseline FIFO and registers the
+// synchronizer flops on both clocks.
+func NewBruteForceSyncFIFO[T any](prod, cons *sim.Clock, depth int) *BruteForceSyncFIFO[T] {
+	f := &BruteForceSyncFIFO[T]{
+		prod: prod, cons: cons,
+		buf: make([]entry[T], depth),
+	}
+	cons.AtCommit(func() {
+		f.wptrSyncToCons[1] = f.wptrSyncToCons[0]
+		f.wptrSyncToCons[0] = f.wptr
+	})
+	prod.AtCommit(func() {
+		f.rptrSyncToProd[1] = f.rptrSyncToProd[0]
+		f.rptrSyncToProd[0] = f.rptr
+	})
+	return f
+}
+
+// PushNB offers v from the producer domain, observing the synchronized
+// (stale) read pointer for the full check.
+func (f *BruteForceSyncFIFO[T]) PushNB(v T) bool {
+	if f.wptr-f.rptrSyncToProd[1] >= uint64(len(f.buf)) {
+		return false
+	}
+	f.buf[f.wptr%uint64(len(f.buf))] = entry[T]{v: v}
+	f.wptr++
+	return true
+}
+
+// Push blocks until accepted.
+func (f *BruteForceSyncFIFO[T]) Push(th *sim.Thread, v T) {
+	for !f.PushNB(v) {
+		th.Wait()
+	}
+}
+
+// PopNB takes a value, observing the synchronized (stale) write pointer.
+func (f *BruteForceSyncFIFO[T]) PopNB() (T, bool) {
+	var zero T
+	if f.rptr == f.wptrSyncToCons[1] {
+		return zero, false
+	}
+	v := f.buf[f.rptr%uint64(len(f.buf))].v
+	f.rptr++
+	f.Transfers++
+	return v, true
+}
+
+// Pop blocks until a value arrives.
+func (f *BruteForceSyncFIFO[T]) Pop(th *sim.Thread) T {
+	for {
+		if v, ok := f.PopNB(); ok {
+			return v
+		}
+		th.Wait()
+	}
+}

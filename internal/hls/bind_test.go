@@ -1,0 +1,101 @@
+package hls
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func firSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	// A tight clock spreads the FIR's multipliers across several stages,
+	// giving the binder slots to share across.
+	return Pipeline(Optimize(FIRDesign(16, 16)), Constraints{ClockPS: 500, MaxMuls: 4})
+}
+
+func TestBindIIOneMatchesUnshared(t *testing.T) {
+	s := firSchedule(t)
+	b := Bind(s, 1)
+	// At II=1 every op is live every cycle within its slot, but sharing
+	// can still occur across stages only when stages mod 1 collapse to
+	// one slot — i.e. none. Units must equal the per-slot maximum, which
+	// at II=1 is the total per-stage maximum ≤ total ops.
+	if b.SharedArea > b.UnsharedArea {
+		t.Fatalf("II=1 shared area %.0f exceeds unshared %.0f", b.SharedArea, b.UnsharedArea)
+	}
+}
+
+func TestBindHigherIISavesArea(t *testing.T) {
+	s := firSchedule(t)
+	b1 := Bind(s, 1)
+	b4 := Bind(s, 4)
+	if b4.MulUnits >= b1.MulUnits {
+		t.Fatalf("II=4 uses %d multipliers, II=1 uses %d — sharing missing", b4.MulUnits, b1.MulUnits)
+	}
+	if b4.SharedArea >= b1.SharedArea {
+		t.Fatalf("II=4 area %.0f not below II=1 area %.0f", b4.SharedArea, b1.SharedArea)
+	}
+	if b4.SavingsPct <= 0 {
+		t.Fatalf("II=4 reports no savings: %+v", b4)
+	}
+}
+
+func TestBindMonotoneUnits(t *testing.T) {
+	s := firSchedule(t)
+	prev := 1 << 30
+	for _, ii := range []int{1, 2, 4, 8} {
+		b := Bind(s, ii)
+		if b.MulUnits > prev {
+			t.Fatalf("II=%d needs %d multipliers, more than smaller II's %d", ii, b.MulUnits, prev)
+		}
+		prev = b.MulUnits
+	}
+}
+
+func TestBindSharingMuxOverheadCounted(t *testing.T) {
+	s := firSchedule(t)
+	b := Bind(s, 8)
+	// With deep sharing, the mux overhead must keep shared area above
+	// the bare cost of the remaining units.
+	unitOnly := b.UnsharedArea * float64(b.MulUnits+b.AddUnits) /
+		float64(maxInt(1, totalShareable(s)))
+	if b.SharedArea <= unitOnly {
+		t.Fatalf("shared area %.0f ignores mux overhead (units-only bound %.0f)", b.SharedArea, unitOnly)
+	}
+}
+
+func totalShareable(s *Schedule) int {
+	n := 0
+	for _, op := range s.Design.Ops {
+		if shareable(op.Kind) {
+			n++
+		}
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestIISweepPrint(t *testing.T) {
+	s := firSchedule(t)
+	var buf bytes.Buffer
+	PrintIISweep(&buf, s.Design.Name, IISweep(s, []int{1, 2, 4, 8}))
+	out := buf.String()
+	if !strings.Contains(out, "Initiation-interval") || strings.Count(out, "\n") < 6 {
+		t.Fatalf("sweep output malformed:\n%s", out)
+	}
+}
+
+func TestBindRejectsBadII(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for II=0")
+		}
+	}()
+	Bind(firSchedule(t), 0)
+}

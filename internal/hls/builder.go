@@ -1,0 +1,212 @@
+package hls
+
+import "fmt"
+
+// Val is a handle to a dataflow value during capture.
+type Val struct {
+	op *Op
+	b  *Builder
+}
+
+// Width returns the value's bit width.
+func (v Val) Width() int { return v.op.Width }
+
+// Builder captures a design by executing ordinary Go code — the analogue
+// of writing synthesizable C++ that HLS unrolls and flattens. Loops are
+// plain Go loops (full unrolling), and variable-index array accesses
+// expand into the mux structures HLS would generate.
+type Builder struct {
+	d *Design
+}
+
+// NewBuilder starts capturing a design.
+func NewBuilder(name string) *Builder {
+	return &Builder{d: &Design{Name: name}}
+}
+
+func (b *Builder) add(op *Op) Val {
+	op.ID = len(b.d.Ops)
+	b.d.Ops = append(b.d.Ops, op)
+	return Val{op: op, b: b}
+}
+
+// Input declares a scalar input port.
+func (b *Builder) Input(name string, width int) Val {
+	v := b.add(&Op{Kind: OpInput, Width: width, Name: name})
+	b.d.Inputs = append(b.d.Inputs, v.op)
+	return v
+}
+
+// InputArray declares n input ports name0..name{n-1}.
+func (b *Builder) InputArray(name string, width, n int) []Val {
+	vs := make([]Val, n)
+	for i := range vs {
+		vs[i] = b.Input(fmt.Sprintf("%s%d", name, i), width)
+	}
+	return vs
+}
+
+// Output declares a scalar output port driven by v.
+func (b *Builder) Output(name string, v Val) {
+	o := b.add(&Op{Kind: OpOutput, Width: v.op.Width, Args: []*Op{v.op}, Name: name})
+	b.d.Outputs = append(b.d.Outputs, o.op)
+}
+
+// Const materializes a constant of the given width.
+func (b *Builder) Const(value uint64, width int) Val {
+	return b.add(&Op{Kind: OpConst, Width: width, Value: value & mask(width)})
+}
+
+func (b *Builder) bin(kind OpKind, width int, x, y Val) Val {
+	return b.add(&Op{Kind: kind, Width: width, Args: []*Op{x.op, y.op}})
+}
+
+func sameWidth(op string, x, y Val) {
+	if x.op.Width != y.op.Width {
+		panic(fmt.Sprintf("hls: %s width mismatch %d vs %d", op, x.op.Width, y.op.Width))
+	}
+}
+
+// Add returns x+y (widths must match).
+func (b *Builder) Add(x, y Val) Val { sameWidth("Add", x, y); return b.bin(OpAdd, x.op.Width, x, y) }
+
+// Sub returns x-y.
+func (b *Builder) Sub(x, y Val) Val { sameWidth("Sub", x, y); return b.bin(OpSub, x.op.Width, x, y) }
+
+// Mul returns x*y truncated to x's width.
+func (b *Builder) Mul(x, y Val) Val { sameWidth("Mul", x, y); return b.bin(OpMul, x.op.Width, x, y) }
+
+// And returns x&y.
+func (b *Builder) And(x, y Val) Val { sameWidth("And", x, y); return b.bin(OpAnd, x.op.Width, x, y) }
+
+// Or returns x|y.
+func (b *Builder) Or(x, y Val) Val { sameWidth("Or", x, y); return b.bin(OpOr, x.op.Width, x, y) }
+
+// Xor returns x^y.
+func (b *Builder) Xor(x, y Val) Val { sameWidth("Xor", x, y); return b.bin(OpXor, x.op.Width, x, y) }
+
+// Not returns ^x.
+func (b *Builder) Not(x Val) Val {
+	return b.add(&Op{Kind: OpNot, Width: x.op.Width, Args: []*Op{x.op}})
+}
+
+// Shl returns x << n.
+func (b *Builder) Shl(x Val, n int) Val {
+	return b.add(&Op{Kind: OpShlC, Width: x.op.Width, Args: []*Op{x.op}, Amount: n})
+}
+
+// Shr returns x >> n.
+func (b *Builder) Shr(x Val, n int) Val {
+	return b.add(&Op{Kind: OpShrC, Width: x.op.Width, Args: []*Op{x.op}, Amount: n})
+}
+
+// Eq returns the 1-bit comparison x == y.
+func (b *Builder) Eq(x, y Val) Val { sameWidth("Eq", x, y); return b.bin(OpEq, 1, x, y) }
+
+// EqConst returns the 1-bit comparison x == k.
+func (b *Builder) EqConst(x Val, k uint64) Val { return b.Eq(x, b.Const(k, x.op.Width)) }
+
+// Lt returns the 1-bit unsigned comparison x < y.
+func (b *Builder) Lt(x, y Val) Val { sameWidth("Lt", x, y); return b.bin(OpLt, 1, x, y) }
+
+// Mux returns sel ? a : b. sel must be 1 bit.
+func (b *Builder) Mux(sel, a, x Val) Val {
+	if sel.op.Width != 1 {
+		panic("hls: mux select must be 1 bit")
+	}
+	sameWidth("Mux", a, x)
+	return b.add(&Op{Kind: OpMux, Width: a.op.Width, Args: []*Op{sel.op, a.op, x.op}})
+}
+
+// Slice returns bits [lo, lo+width) of x.
+func (b *Builder) Slice(x Val, lo, width int) Val {
+	if lo < 0 || lo+width > x.op.Width {
+		panic(fmt.Sprintf("hls: slice [%d,%d) of %d-bit value", lo, lo+width, x.op.Width))
+	}
+	return b.add(&Op{Kind: OpSlice, Width: width, Args: []*Op{x.op}, Amount: lo})
+}
+
+// ZExt widens x with zeros.
+func (b *Builder) ZExt(x Val, width int) Val {
+	if width < x.op.Width {
+		panic("hls: zext narrows")
+	}
+	if width == x.op.Width {
+		return x
+	}
+	return b.add(&Op{Kind: OpZExt, Width: width, Args: []*Op{x.op}})
+}
+
+// Concat returns {hi, lo} with lo in the low bits.
+func (b *Builder) Concat(lo, hi Val) Val {
+	return b.add(&Op{Kind: OpConcat, Width: lo.op.Width + hi.op.Width, Args: []*Op{lo.op, hi.op}})
+}
+
+// ReadIdx models in[idx]: a variable-index array read. HLS expands it
+// into a balanced tree of 2:1 select muxes driven by the index bits —
+// the structure behind the efficient dst-loop crossbar coding.
+func (b *Builder) ReadIdx(arr []Val, idx Val) Val {
+	if len(arr) == 0 {
+		panic("hls: ReadIdx of empty array")
+	}
+	layer := make([]Val, len(arr))
+	copy(layer, arr)
+	bit := 0
+	for len(layer) > 1 {
+		sel := b.Slice(idx, bit, 1)
+		next := make([]Val, 0, (len(layer)+1)/2)
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 < len(layer) {
+				next = append(next, b.Mux(sel, layer[i+1], layer[i]))
+			} else {
+				next = append(next, layer[i])
+			}
+		}
+		layer = next
+		bit++
+		if bit > idx.op.Width && len(layer) > 1 {
+			panic(fmt.Sprintf("hls: index width %d too narrow for %d elements", idx.op.Width, len(arr)))
+		}
+	}
+	return layer[0]
+}
+
+// WriteIdx models out[idx] = v over the current SSA values of an output
+// array: every element gets a comparator against its position and a 2:1
+// mux, and repeated WriteIdx calls chain those muxes serially — the
+// priority-decoder structure behind the src-loop crossbar penalty.
+func (b *Builder) WriteIdx(arr []Val, idx Val, v Val) {
+	for j := range arr {
+		hit := b.EqConst(idx, uint64(j))
+		arr[j] = b.Mux(hit, v, arr[j])
+	}
+}
+
+// ReduceAdd sums the values with a balanced adder tree.
+func (b *Builder) ReduceAdd(vs []Val) Val {
+	if len(vs) == 0 {
+		panic("hls: ReduceAdd of nothing")
+	}
+	layer := make([]Val, len(vs))
+	copy(layer, vs)
+	for len(layer) > 1 {
+		next := make([]Val, 0, (len(layer)+1)/2)
+		for i := 0; i < len(layer); i += 2 {
+			if i+1 < len(layer) {
+				next = append(next, b.Add(layer[i], layer[i+1]))
+			} else {
+				next = append(next, layer[i])
+			}
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// Build finalizes and validates the captured design.
+func (b *Builder) Build() *Design {
+	if err := b.d.Validate(); err != nil {
+		panic(err)
+	}
+	return b.d
+}

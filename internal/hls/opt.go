@@ -1,0 +1,122 @@
+package hls
+
+import "fmt"
+
+// Optimize runs the pre-scheduling logic optimizations: constant folding,
+// common-subexpression elimination, and dead-code elimination. It returns
+// a new Design; the input is not modified. Port ops are always preserved.
+func Optimize(d *Design) *Design {
+	folded := constFold(d)
+	return rebuild(folded, cse(folded))
+}
+
+// constFold computes values for ops whose operands are all constants and
+// replaces them with OpConst nodes (in a copied op list).
+func constFold(d *Design) *Design {
+	nd := &Design{Name: d.Name}
+	repl := make([]*Op, len(d.Ops))
+	for _, op := range d.Ops {
+		c := &Op{ID: len(nd.Ops), Kind: op.Kind, Width: op.Width,
+			Value: op.Value, Amount: op.Amount, Name: op.Name}
+		for _, a := range op.Args {
+			c.Args = append(c.Args, repl[a.ID])
+		}
+		if c.Kind != OpInput && c.Kind != OpOutput && c.Kind != OpConst {
+			allConst := len(c.Args) > 0
+			for _, a := range c.Args {
+				if a.Kind != OpConst {
+					allConst = false
+					break
+				}
+			}
+			if allConst {
+				args := make([]uint64, len(c.Args))
+				for i, a := range c.Args {
+					args[i] = a.Value
+				}
+				// Eval needs Args for Concat widths; keep them until after.
+				v := c.Eval(args)
+				c = &Op{ID: c.ID, Kind: OpConst, Width: c.Width, Value: v}
+			}
+		}
+		repl[op.ID] = c
+		nd.Ops = append(nd.Ops, c)
+		switch c.Kind {
+		case OpInput:
+			nd.Inputs = append(nd.Inputs, c)
+		case OpOutput:
+			nd.Outputs = append(nd.Outputs, c)
+		}
+	}
+	return nd
+}
+
+// cse maps each op to its canonical representative.
+func cse(d *Design) []*Op {
+	canon := make([]*Op, len(d.Ops))
+	table := map[string]*Op{}
+	for _, op := range d.Ops {
+		if op.Kind == OpInput || op.Kind == OpOutput {
+			canon[op.ID] = op
+			continue
+		}
+		key := fmt.Sprintf("%d:%d:%d:%d", op.Kind, op.Width, op.Value, op.Amount)
+		for _, a := range op.Args {
+			key += fmt.Sprintf(":%d", canon[a.ID].ID)
+		}
+		if prev, ok := table[key]; ok {
+			canon[op.ID] = prev
+		} else {
+			table[key] = op
+			canon[op.ID] = op
+		}
+	}
+	return canon
+}
+
+// rebuild emits a new design keeping only ops reachable from outputs,
+// with operands redirected through the canonical map.
+func rebuild(d *Design, canon []*Op) *Design {
+	live := make([]bool, len(d.Ops))
+	var mark func(op *Op)
+	mark = func(op *Op) {
+		op = canon[op.ID]
+		if live[op.ID] {
+			return
+		}
+		live[op.ID] = true
+		for _, a := range op.Args {
+			mark(a)
+		}
+	}
+	for _, o := range d.Outputs {
+		mark(o)
+	}
+	for _, in := range d.Inputs {
+		live[in.ID] = true // ports survive even if unused
+	}
+	nd := &Design{Name: d.Name}
+	newOp := make([]*Op, len(d.Ops))
+	for _, op := range d.Ops {
+		if canon[op.ID] != op || !live[op.ID] {
+			continue
+		}
+		c := &Op{ID: len(nd.Ops), Kind: op.Kind, Width: op.Width,
+			Value: op.Value, Amount: op.Amount, Name: op.Name}
+		for _, a := range op.Args {
+			c.Args = append(c.Args, newOp[canon[a.ID].ID])
+		}
+		newOp[op.ID] = c
+		nd.Ops = append(nd.Ops, c)
+		switch c.Kind {
+		case OpInput:
+			nd.Inputs = append(nd.Inputs, c)
+		case OpOutput:
+			nd.Outputs = append(nd.Outputs, c)
+		}
+	}
+	if err := nd.Validate(); err != nil {
+		panic(err)
+	}
+	return nd
+}

@@ -1,0 +1,150 @@
+package matchlib
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/connections"
+	"repro/internal/sim"
+)
+
+// cacheTB wires a cache to a SimpleMemory and returns a function that
+// executes a request program, checking read data against a flat model.
+func cacheTB(t *testing.T, capWords, lineWords, ways, memLatency int, program []CacheReq) (*Cache, CacheStats) {
+	t.Helper()
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	const memWords = 1024
+	c := NewCache(clk, "c", capWords, lineWords, ways)
+	m := NewSimpleMemory(clk, "m", memWords, lineWords, memLatency)
+	connections.Buffer(clk, "memq", 2, c.MemQ, m.Req)
+	connections.Buffer(clk, "memp", 2, m.Rsp, c.MemP)
+
+	reqOut := connections.NewOut[CacheReq]()
+	rspIn := connections.NewIn[CacheResp]()
+	connections.Buffer(clk, "req", 2, reqOut, c.Req)
+	connections.Buffer(clk, "rsp", 2, c.Rsp, rspIn)
+
+	model := make([]uint64, memWords)
+	clk.Spawn("driver", func(th *sim.Thread) {
+		for k, req := range program {
+			reqOut.Push(th, req)
+			rsp := rspIn.Pop(th)
+			if req.Write {
+				model[req.Addr] = req.Data
+			} else if rsp.Data != model[req.Addr] {
+				t.Errorf("req %d: read addr %d = %d, want %d", k, req.Addr, rsp.Data, model[req.Addr])
+			}
+			th.Wait()
+		}
+		th.Sim().Stop()
+	})
+	s.Run(sim.Infinity - 1)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return c, c.Stats()
+}
+
+func TestCacheReadAfterWrite(t *testing.T) {
+	prog := []CacheReq{
+		{Write: true, Addr: 5, Data: 55},
+		{Addr: 5},
+		{Write: true, Addr: 5, Data: 66},
+		{Addr: 5},
+	}
+	_, st := cacheTB(t, 64, 4, 2, 3, prog)
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheEvictionAndWriteback(t *testing.T) {
+	// Direct-mapped, 2 lines of 4 words => addresses 0 and 8 collide in
+	// set 0 (line addr 0 -> set 0, line addr 8/4=2 -> set 0 with 2 sets).
+	prog := []CacheReq{
+		{Write: true, Addr: 0, Data: 1}, // miss, fill, dirty
+		{Write: true, Addr: 8, Data: 2}, // miss, evict dirty line 0 (writeback)
+		{Addr: 0},                       // miss again, must read back 1
+		{Addr: 8},                       // miss (evicted by previous), reads 2
+	}
+	_, st := cacheTB(t, 8, 4, 1, 2, prog)
+	if st.Writebacks == 0 {
+		t.Fatalf("no writebacks recorded: %+v", st)
+	}
+	if st.Misses != 4 {
+		t.Fatalf("misses = %d, want 4", st.Misses)
+	}
+}
+
+func TestCacheLRUKeepsHotLine(t *testing.T) {
+	// 2-way set with 2 sets, line 4 words: lines 0, 16, 32 map to set 0.
+	prog := []CacheReq{
+		{Addr: 0},  // fill way A
+		{Addr: 16}, // fill way B
+		{Addr: 0},  // touch A (B becomes LRU)
+		{Addr: 32}, // evict B
+		{Addr: 0},  // must still hit
+	}
+	_, st := cacheTB(t, 16, 4, 2, 2, prog)
+	if st.Hits != 2 {
+		t.Fatalf("hits = %d, want 2 (touch + post-eviction hit)", st.Hits)
+	}
+}
+
+// Property: random request streams against a flat-memory model, across
+// cache geometries. The in-test model check fails the test on mismatch.
+func TestCacheRandomProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	geoms := []struct{ capW, lineW, ways int }{
+		{32, 4, 1}, {64, 4, 2}, {64, 8, 2}, {128, 4, 4}, {64, 16, 1},
+	}
+	for _, g := range geoms {
+		var prog []CacheReq
+		for k := 0; k < 400; k++ {
+			addr := r.Intn(256)
+			if r.Intn(2) == 0 {
+				prog = append(prog, CacheReq{Write: true, Addr: addr, Data: r.Uint64()})
+			} else {
+				prog = append(prog, CacheReq{Addr: addr})
+			}
+		}
+		_, st := cacheTB(t, g.capW, g.lineW, g.ways, 1+r.Intn(4), prog)
+		if st.Hits+st.Misses != 400 {
+			t.Fatalf("geometry %+v: %d+%d accesses, want 400", g, st.Hits, st.Misses)
+		}
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad geometry")
+		}
+	}()
+	NewCache(clk, "bad", 4, 8, 1) // capacity < one line
+}
+
+func TestSimpleMemoryLatency(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	m := NewSimpleMemory(clk, "m", 64, 4, 10)
+	reqOut := connections.NewOut[MemReq]()
+	rspIn := connections.NewIn[MemResp]()
+	connections.Buffer(clk, "q", 2, reqOut, m.Req)
+	connections.Buffer(clk, "p", 2, m.Rsp, rspIn)
+	var elapsed uint64
+	clk.Spawn("drv", func(th *sim.Thread) {
+		start := th.Cycle()
+		reqOut.Push(th, MemReq{LineAddr: 0})
+		rspIn.Pop(th)
+		elapsed = th.Cycle() - start
+		th.Sim().Stop()
+	})
+	s.Run(sim.Infinity - 1)
+	if elapsed < 10 {
+		t.Fatalf("memory answered in %d cycles, want >= 10", elapsed)
+	}
+}

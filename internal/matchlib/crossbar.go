@@ -1,0 +1,54 @@
+package matchlib
+
+import "fmt"
+
+// CrossbarDstLoop routes in[src[dst]] to out[dst] for every output — the
+// dst-loop coding from the paper's §2.4 case study, which HLS maps to one
+// simple select mux per output. src[dst] is the input index each output
+// reads from. The returned slice has len(src) elements.
+func CrossbarDstLoop[T any](in []T, src []int) []T {
+	out := make([]T, len(src))
+	for dst := 0; dst < len(src); dst++ {
+		s := src[dst]
+		if s < 0 || s >= len(in) {
+			panic(fmt.Sprintf("matchlib: crossbar source %d out of range [0,%d)", s, len(in)))
+		}
+		out[dst] = in[s]
+	}
+	return out
+}
+
+// CrossbarSrcLoop routes in[src] to out[dst[src]] for every input — the
+// src-loop coding from the paper, which HLS maps to priority-mux chains
+// (later sources override earlier ones on destination conflicts). Outputs
+// with no source keep the zero value. The returned slice has n elements.
+func CrossbarSrcLoop[T any](in []T, dst []int, n int) []T {
+	if len(dst) != len(in) {
+		panic(fmt.Sprintf("matchlib: crossbar dst length %d != inputs %d", len(dst), len(in)))
+	}
+	out := make([]T, n)
+	for src := 0; src < len(in); src++ {
+		d := dst[src]
+		if d < 0 || d >= n {
+			panic(fmt.Sprintf("matchlib: crossbar destination %d out of range [0,%d)", d, n))
+		}
+		out[d] = in[src]
+	}
+	return out
+}
+
+// Permute applies CrossbarDstLoop with a full permutation and checks that
+// src is in fact a permutation.
+func Permute[T any](in []T, src []int) []T {
+	if len(src) != len(in) {
+		panic("matchlib: permutation length mismatch")
+	}
+	seen := make([]bool, len(in))
+	for _, s := range src {
+		if s < 0 || s >= len(in) || seen[s] {
+			panic("matchlib: src is not a permutation")
+		}
+		seen[s] = true
+	}
+	return CrossbarDstLoop(in, src)
+}

@@ -1,0 +1,21 @@
+// Package matchlib is the Go rendering of MatchLib, the paper's
+// object-oriented library of commonly used hardware components (Table 2).
+//
+// Following the paper's taxonomy, components come in three flavours:
+//
+//   - Functions — untimed, stateless helpers describing datapath
+//     behaviour: Crossbar, one-hot Encode/Decode, priority encoders (and
+//     floating-point arithmetic in the float subpackage).
+//   - Classes — untimed objects with state and methods: FIFO, Arbiter,
+//     MemArray, Vector, ReorderBuffer. These are instantiated inside
+//     module models and inside the HLS designs under internal/hls.
+//   - Modules — clocked processes with latency-insensitive ports built on
+//     internal/connections: ArbitratedCrossbar, ArbitratedScratchpad,
+//     Scratchpad, Serializer/Deserializer, Cache, SimpleMemory. The NoC
+//     routers (SFRouter, WHVCRouter) live in internal/noc and the AXI
+//     components in internal/axi.
+//
+// A structural register-transfer-level model of the arbitrated crossbar
+// (StructuralCrossbar) provides the cycle ground truth for reproducing the
+// paper's Figure 3.
+package matchlib

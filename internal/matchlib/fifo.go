@@ -1,0 +1,79 @@
+package matchlib
+
+import "fmt"
+
+// FIFO is the configurable first-in first-out queue class. It is an
+// untimed object used inside module models and HLS designs; the clocked
+// channel equivalent is connections.Buffer.
+type FIFO[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// NewFIFO returns an empty FIFO with the given capacity.
+func NewFIFO[T any](capacity int) *FIFO[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("matchlib: FIFO capacity %d < 1", capacity))
+	}
+	return &FIFO[T]{buf: make([]T, capacity)}
+}
+
+// Len returns the number of stored elements.
+func (f *FIFO[T]) Len() int { return f.n }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return len(f.buf) }
+
+// Empty reports whether the FIFO holds no elements.
+func (f *FIFO[T]) Empty() bool { return f.n == 0 }
+
+// Full reports whether the FIFO is at capacity.
+func (f *FIFO[T]) Full() bool { return f.n == len(f.buf) }
+
+// Push appends v. It panics when full; guard with Full for non-blocking use.
+func (f *FIFO[T]) Push(v T) {
+	if f.Full() {
+		panic("matchlib: Push to full FIFO")
+	}
+	f.buf[(f.head+f.n)%len(f.buf)] = v
+	f.n++
+}
+
+// Pop removes and returns the oldest element. It panics when empty.
+func (f *FIFO[T]) Pop() T {
+	if f.Empty() {
+		panic("matchlib: Pop from empty FIFO")
+	}
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % len(f.buf)
+	f.n--
+	return v
+}
+
+// Peek returns the oldest element without removing it. It panics when empty.
+func (f *FIFO[T]) Peek() T {
+	if f.Empty() {
+		panic("matchlib: Peek on empty FIFO")
+	}
+	return f.buf[f.head]
+}
+
+// At returns the i-th oldest element (0 = head). It panics out of range.
+func (f *FIFO[T]) At(i int) T {
+	if i < 0 || i >= f.n {
+		panic(fmt.Sprintf("matchlib: FIFO index %d out of range [0,%d)", i, f.n))
+	}
+	return f.buf[(f.head+i)%len(f.buf)]
+}
+
+// Reset discards all contents.
+func (f *FIFO[T]) Reset() {
+	var zero T
+	for i := range f.buf {
+		f.buf[i] = zero
+	}
+	f.head, f.n = 0, 0
+}

@@ -1,0 +1,321 @@
+// Package float provides the MatchLib floating-point arithmetic functions
+// (mul, add, mul-add) as bit-level soft-float implementations of IEEE-754
+// binary16 and binary32. These are the datapath functions the PE vector
+// unit and the HLS QoR experiments use; implementing them from integer
+// operations mirrors how the hardware library describes them to HLS.
+//
+// Rounding is round-to-nearest-even. Subnormals, infinities and NaNs are
+// handled; all NaN results are quieted to the canonical quiet NaN of the
+// format. MulAdd is the unfused multiply-then-add datapath (two rounding
+// steps), matching the MatchLib component it reproduces.
+package float
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a binary interchange format.
+type Format struct {
+	ExpBits  int
+	FracBits int
+}
+
+// Binary16 is IEEE-754 half precision.
+var Binary16 = Format{ExpBits: 5, FracBits: 10}
+
+// Binary32 is IEEE-754 single precision.
+var Binary32 = Format{ExpBits: 8, FracBits: 23}
+
+// Width returns the total storage width in bits.
+func (f Format) Width() int { return 1 + f.ExpBits + f.FracBits }
+
+func (f Format) bias() int        { return (1 << (f.ExpBits - 1)) - 1 }
+func (f Format) expMax() uint64   { return 1<<uint(f.ExpBits) - 1 }
+func (f Format) fracMask() uint64 { return 1<<uint(f.FracBits) - 1 }
+
+// QuietNaN returns the canonical quiet NaN bit pattern.
+func (f Format) QuietNaN() uint64 {
+	return f.expMax()<<uint(f.FracBits) | 1<<uint(f.FracBits-1)
+}
+
+// Inf returns the infinity bit pattern with the given sign (0 or 1).
+func (f Format) Inf(sign uint64) uint64 {
+	return sign<<uint(f.ExpBits+f.FracBits) | f.expMax()<<uint(f.FracBits)
+}
+
+// IsNaN reports whether bits encodes a NaN.
+func (f Format) IsNaN(bits uint64) bool {
+	_, e, m := f.unpack(bits)
+	return e == f.expMax() && m != 0
+}
+
+// IsInf reports whether bits encodes an infinity.
+func (f Format) IsInf(bits uint64) bool {
+	_, e, m := f.unpack(bits)
+	return e == f.expMax() && m == 0
+}
+
+func (f Format) unpack(bits uint64) (sign, exp, frac uint64) {
+	sign = bits >> uint(f.ExpBits+f.FracBits) & 1
+	exp = bits >> uint(f.FracBits) & f.expMax()
+	frac = bits & f.fracMask()
+	return
+}
+
+// norm returns the normalized significand (with hidden bit at position
+// FracBits) and unbiased exponent, for finite nonzero inputs.
+func (f Format) norm(exp, frac uint64) (sig uint64, e int) {
+	if exp == 0 {
+		// Subnormal: normalize by shifting the fraction up.
+		e = 1 - f.bias()
+		sig = frac
+		for sig>>uint(f.FracBits) == 0 {
+			sig <<= 1
+			e--
+		}
+		return sig, e
+	}
+	return frac | 1<<uint(f.FracBits), int(exp) - f.bias()
+}
+
+// roundPack assembles a finite result from sign, unbiased exponent e, and
+// a significand sig whose leading 1 is at bit position msb (sig != 0);
+// the encoded value is (-1)^sign · 2^e · sig/2^msb. Rounding is to
+// nearest, ties to even; overflow returns infinity and deep underflow
+// returns signed zero.
+func (f Format) roundPack(sign uint64, e int, sig uint64, msb int) uint64 {
+	// Normalize so the hidden bit sits at position FracBits+2, keeping
+	// guard and round bits below it; collect sticky from shifted-out
+	// bits. Shifting sig against msb leaves the encoded value unchanged,
+	// so e is untouched here.
+	target := f.FracBits + 2
+	sticky := uint64(0)
+	for msb > target {
+		sticky |= sig & 1
+		sig >>= 1
+		msb--
+	}
+	for msb < target {
+		sig <<= 1
+		msb++
+	}
+	// sig now has FracBits+3 significant bits: mantissa | guard | round.
+	// Fold guard+round+sticky into RNE.
+	biased := e + f.bias()
+	if biased >= int(f.expMax()) {
+		return f.Inf(sign)
+	}
+	if biased < 1 {
+		// Subnormal: shift right further, keeping sticky.
+		shift := 1 - biased
+		if shift > 63 {
+			sig, sticky = 0, sticky|sig
+		} else {
+			sticky |= sig & (1<<uint(shift) - 1)
+			sig >>= uint(shift)
+		}
+		biased = 0
+	}
+	mant := sig >> 2
+	guard := sig >> 1 & 1
+	round := sig & 1
+	if guard == 1 && (round == 1 || sticky != 0 || mant&1 == 1) {
+		mant++
+		if mant>>uint(f.FracBits+1) != 0 {
+			mant >>= 1
+			biased++
+			if biased >= int(f.expMax()) {
+				return f.Inf(sign)
+			}
+		}
+	}
+	if biased == 0 {
+		// Result stayed subnormal (or rounded up into the smallest
+		// normal, in which case the hidden bit is already in mant).
+		if mant>>uint(f.FracBits) != 0 {
+			biased = 1
+			mant &= f.fracMask()
+		}
+		return sign<<uint(f.ExpBits+f.FracBits) | uint64(biased)<<uint(f.FracBits) | mant
+	}
+	if mant>>uint(f.FracBits) == 0 {
+		panic(fmt.Sprintf("float: lost hidden bit (exp=%d mant=%#x)", biased, mant))
+	}
+	return sign<<uint(f.ExpBits+f.FracBits) | uint64(biased)<<uint(f.FracBits) | mant&f.fracMask()
+}
+
+func msb64(x uint64) int {
+	n := -1
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Mul returns a*b in the format, rounding to nearest even.
+func (f Format) Mul(a, b uint64) uint64 {
+	sa, ea, ma := f.unpack(a)
+	sb, eb, mb := f.unpack(b)
+	sign := sa ^ sb
+	switch {
+	case ea == f.expMax() && ma != 0, eb == f.expMax() && mb != 0:
+		return f.QuietNaN()
+	case ea == f.expMax():
+		if eb == 0 && mb == 0 {
+			return f.QuietNaN() // inf * 0
+		}
+		return f.Inf(sign)
+	case eb == f.expMax():
+		if ea == 0 && ma == 0 {
+			return f.QuietNaN()
+		}
+		return f.Inf(sign)
+	case (ea == 0 && ma == 0) || (eb == 0 && mb == 0):
+		return sign << uint(f.ExpBits+f.FracBits) // signed zero
+	}
+	siga, expa := f.norm(ea, ma)
+	sigb, expb := f.norm(eb, mb)
+	prod := siga * sigb // ≤ (2^(F+1))² fits in uint64 for F ≤ 23
+	e := expa + expb
+	// prod's leading 1 is at 2F or 2F+1; exponent reference point: a
+	// product of two 1.x significands is valued prod / 2^(2F).
+	msb := msb64(prod)
+	e += msb - 2*f.FracBits
+	return f.roundPack(sign, e, prod, msb)
+}
+
+// Add returns a+b in the format, rounding to nearest even.
+func (f Format) Add(a, b uint64) uint64 {
+	sa, ea, ma := f.unpack(a)
+	sb, eb, mb := f.unpack(b)
+	switch {
+	case ea == f.expMax() && ma != 0, eb == f.expMax() && mb != 0:
+		return f.QuietNaN()
+	case ea == f.expMax() && eb == f.expMax():
+		if sa != sb {
+			return f.QuietNaN() // inf - inf
+		}
+		return f.Inf(sa)
+	case ea == f.expMax():
+		return f.Inf(sa)
+	case eb == f.expMax():
+		return f.Inf(sb)
+	}
+	azero := ea == 0 && ma == 0
+	bzero := eb == 0 && mb == 0
+	if azero && bzero {
+		// +0 + -0 = +0; -0 + -0 = -0.
+		return (sa & sb) << uint(f.ExpBits+f.FracBits)
+	}
+	if azero {
+		return b
+	}
+	if bzero {
+		return a
+	}
+	siga, expa := f.norm(ea, ma)
+	sigb, expb := f.norm(eb, mb)
+	// Give both operands 3 extra low bits (guard/round/sticky workspace).
+	const g = 3
+	siga <<= g
+	sigb <<= g
+	// Align to the larger exponent, folding shifted-out bits into sticky.
+	if expa < expb {
+		siga, sigb = sigb, siga
+		expa, expb = expb, expa
+		sa, sb = sb, sa
+	}
+	shift := expa - expb
+	if shift > 0 {
+		if shift >= 63 {
+			if sigb != 0 {
+				sigb = 1 // pure sticky
+			}
+		} else {
+			sticky := uint64(0)
+			if sigb&(1<<uint(shift)-1) != 0 {
+				sticky = 1
+			}
+			sigb = sigb>>uint(shift) | sticky
+		}
+	}
+	var sig uint64
+	sign := sa
+	if sa == sb {
+		sig = siga + sigb
+	} else {
+		if siga >= sigb {
+			sig = siga - sigb
+		} else {
+			sig = sigb - siga
+			sign = sb
+		}
+		if sig == 0 {
+			return 0 // exact cancellation → +0 (RNE)
+		}
+	}
+	msb := msb64(sig)
+	e := expa + (msb - (f.FracBits + g))
+	return f.roundPack(sign, e, sig, msb)
+}
+
+// Sub returns a-b.
+func (f Format) Sub(a, b uint64) uint64 {
+	return f.Add(a, b^1<<uint(f.ExpBits+f.FracBits))
+}
+
+// MulAdd returns (a*b)+c with two rounding steps — the unfused MatchLib
+// mul-add datapath.
+func (f Format) MulAdd(a, b, c uint64) uint64 {
+	return f.Add(f.Mul(a, b), c)
+}
+
+// ToFloat64 decodes a bit pattern to float64 (exact for formats up to
+// binary32).
+func (f Format) ToFloat64(bits uint64) float64 {
+	sign, exp, frac := f.unpack(bits)
+	s := 1.0
+	if sign == 1 {
+		s = -1.0
+	}
+	switch {
+	case exp == f.expMax() && frac != 0:
+		return math.NaN()
+	case exp == f.expMax():
+		return math.Inf(int(1 - 2*int(sign)))
+	case exp == 0 && frac == 0:
+		return s * 0.0
+	case exp == 0:
+		return s * math.Ldexp(float64(frac), 1-f.bias()-f.FracBits)
+	}
+	return s * math.Ldexp(float64(frac|1<<uint(f.FracBits)), int(exp)-f.bias()-f.FracBits)
+}
+
+// FromFloat64 encodes x with round-to-nearest-even.
+func (f Format) FromFloat64(x float64) uint64 {
+	b64 := math.Float64bits(x)
+	sign := b64 >> 63
+	exp := int(b64 >> 52 & 0x7ff)
+	frac := b64 & (1<<52 - 1)
+	switch {
+	case exp == 0x7ff && frac != 0:
+		return f.QuietNaN()
+	case exp == 0x7ff:
+		return f.Inf(sign)
+	case exp == 0 && frac == 0:
+		return sign << uint(f.ExpBits+f.FracBits)
+	}
+	sig := frac | 1<<52
+	e := exp - 1023
+	if exp == 0 { // subnormal float64
+		sig = frac
+		e = -1022
+		for sig>>52 == 0 {
+			sig <<= 1
+			e--
+		}
+	}
+	return f.roundPack(sign, e, sig, 52)
+}

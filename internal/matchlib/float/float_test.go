@@ -1,0 +1,225 @@
+package float
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// f32 computes the reference result using Go's native float32 arithmetic,
+// which is correctly rounded IEEE-754 binary32.
+func f32op(op string, a, b uint64) uint64 {
+	x := math.Float32frombits(uint32(a))
+	y := math.Float32frombits(uint32(b))
+	var z float32
+	switch op {
+	case "mul":
+		z = x * y
+	case "add":
+		z = x + y
+	case "sub":
+		z = x - y
+	}
+	return uint64(math.Float32bits(z))
+}
+
+func check32(t *testing.T, op string, a, b uint64) {
+	t.Helper()
+	var got uint64
+	switch op {
+	case "mul":
+		got = Binary32.Mul(a, b)
+	case "add":
+		got = Binary32.Add(a, b)
+	case "sub":
+		got = Binary32.Sub(a, b)
+	}
+	want := f32op(op, a, b)
+	if Binary32.IsNaN(want) {
+		if !Binary32.IsNaN(got) {
+			t.Fatalf("%s(%#08x, %#08x) = %#08x, want NaN", op, a, b, got)
+		}
+		return
+	}
+	if got != want {
+		t.Fatalf("%s(%#08x, %#08x) = %#08x, want %#08x (%g op %g)",
+			op, a, b, got, want,
+			float64(math.Float32frombits(uint32(a))), float64(math.Float32frombits(uint32(b))))
+	}
+}
+
+// interesting32 are directed operand patterns: zeros, subnormals, normals
+// around boundaries, max finite, infinities, NaNs.
+var interesting32 = []uint64{
+	0x00000000, 0x80000000, // ±0
+	0x00000001, 0x80000001, // smallest subnormals
+	0x007fffff, 0x807fffff, // largest subnormals
+	0x00800000, 0x80800000, // smallest normals
+	0x00800001, 0x34000000,
+	0x3f800000, 0xbf800000, // ±1
+	0x3f800001, 0x3effffff,
+	0x7f7fffff, 0xff7fffff, // ±max finite
+	0x7f800000, 0xff800000, // ±inf
+	0x7fc00000, 0x7f800001, // NaNs
+	0x40490fdb, 0x3eaaaaab,
+}
+
+func TestBinary32DirectedVectors(t *testing.T) {
+	for _, a := range interesting32 {
+		for _, b := range interesting32 {
+			check32(t, "mul", a, b)
+			check32(t, "add", a, b)
+			check32(t, "sub", a, b)
+		}
+	}
+}
+
+func TestBinary32RandomAgainstNative(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for i := 0; i < 300_000; i++ {
+		a := uint64(r.Uint32())
+		b := uint64(r.Uint32())
+		check32(t, "mul", a, b)
+		check32(t, "add", a, b)
+	}
+}
+
+func TestBinary32RandomNearOperands(t *testing.T) {
+	// Operands with close exponents stress cancellation and rounding.
+	r := rand.New(rand.NewSource(52))
+	for i := 0; i < 200_000; i++ {
+		exp := uint64(1 + r.Intn(250))
+		a := r.Uint64()&0x807fffff | exp<<23
+		b := r.Uint64()&0x807fffff | (exp+uint64(r.Intn(3)))<<23
+		check32(t, "add", a, b)
+		check32(t, "sub", a, b)
+	}
+}
+
+func TestBinary32Subnormals(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for i := 0; i < 100_000; i++ {
+		a := r.Uint64() & 0x807fffff // subnormal or zero
+		b := r.Uint64() & 0x80ffffff // subnormal or tiny normal
+		check32(t, "add", a, b)
+		check32(t, "mul", a, b|0x3f000000) // tiny times moderate
+	}
+}
+
+func TestBinary16RoundTripAllValues(t *testing.T) {
+	for bits := uint64(0); bits < 1<<16; bits++ {
+		x := Binary16.ToFloat64(bits)
+		back := Binary16.FromFloat64(x)
+		if Binary16.IsNaN(bits) {
+			if !Binary16.IsNaN(back) {
+				t.Fatalf("NaN %#04x did not round trip", bits)
+			}
+			continue
+		}
+		if back != bits {
+			t.Fatalf("%#04x (%g) round tripped to %#04x", bits, x, back)
+		}
+	}
+}
+
+// Binary16 ops are verified against exact float64 computation followed by
+// a single rounding: for half precision, products and sums are exactly
+// representable in float64, so this reference is correctly rounded.
+func TestBinary16AgainstFloat64Reference(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	for i := 0; i < 400_000; i++ {
+		a := r.Uint64() & 0xffff
+		b := r.Uint64() & 0xffff
+		fa, fb := Binary16.ToFloat64(a), Binary16.ToFloat64(b)
+
+		for _, c := range []struct {
+			name string
+			got  uint64
+			ref  float64
+		}{
+			{"mul", Binary16.Mul(a, b), fa * fb},
+			{"add", Binary16.Add(a, b), fa + fb},
+		} {
+			want := Binary16.FromFloat64(c.ref)
+			if Binary16.IsNaN(want) || Binary16.IsNaN(c.got) {
+				if Binary16.IsNaN(want) != Binary16.IsNaN(c.got) {
+					t.Fatalf("%s(%#04x,%#04x) NaN mismatch: got %#04x want %#04x", c.name, a, b, c.got, want)
+				}
+				continue
+			}
+			if c.got != want {
+				t.Fatalf("%s(%#04x,%#04x) = %#04x, want %#04x (%g op %g = %g)",
+					c.name, a, b, c.got, want, fa, fb, c.ref)
+			}
+		}
+	}
+}
+
+func TestMulAddUnfusedSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for i := 0; i < 50_000; i++ {
+		a, b, c := uint64(r.Uint32()), uint64(r.Uint32()), uint64(r.Uint32())
+		got := Binary32.MulAdd(a, b, c)
+		want := Binary32.Add(Binary32.Mul(a, b), c)
+		if got != want {
+			t.Fatalf("MulAdd(%#x,%#x,%#x) = %#x, want unfused %#x", a, b, c, got, want)
+		}
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	f := Binary32
+	inf, ninf := f.Inf(0), f.Inf(1)
+	one := uint64(0x3f800000)
+	zero, nzero := uint64(0), uint64(0x80000000)
+
+	if !f.IsNaN(f.Mul(inf, zero)) {
+		t.Error("inf*0 not NaN")
+	}
+	if !f.IsNaN(f.Add(inf, ninf)) {
+		t.Error("inf + -inf not NaN")
+	}
+	if got := f.Add(inf, one); got != inf {
+		t.Errorf("inf+1 = %#x", got)
+	}
+	if got := f.Mul(ninf, one); got != ninf {
+		t.Errorf("-inf*1 = %#x", got)
+	}
+	if got := f.Add(zero, nzero); got != zero {
+		t.Errorf("+0 + -0 = %#x, want +0", got)
+	}
+	if got := f.Add(nzero, nzero); got != nzero {
+		t.Errorf("-0 + -0 = %#x, want -0", got)
+	}
+	if got := f.Mul(one, nzero); got != nzero {
+		t.Errorf("1 * -0 = %#x, want -0", got)
+	}
+	if !f.IsInf(f.Mul(0x7f7fffff, 0x7f7fffff)) {
+		t.Error("max*max did not overflow to inf")
+	}
+	if !f.IsNaN(f.QuietNaN()) || f.IsInf(f.QuietNaN()) {
+		t.Error("QuietNaN classification")
+	}
+}
+
+func TestWidth(t *testing.T) {
+	if Binary16.Width() != 16 || Binary32.Width() != 32 {
+		t.Fatal("widths wrong")
+	}
+}
+
+func BenchmarkMul32(b *testing.B) {
+	r := rand.New(rand.NewSource(56))
+	x, y := uint64(r.Uint32()), uint64(r.Uint32())
+	for i := 0; i < b.N; i++ {
+		x = Binary32.Mul(x, y)&0x7fffff | 0x3f000000
+	}
+}
+
+func BenchmarkAdd16(b *testing.B) {
+	r := rand.New(rand.NewSource(57))
+	x, y := r.Uint64()&0xffff, r.Uint64()&0xffff
+	for i := 0; i < b.N; i++ {
+		x = Binary16.Add(x, y) & 0x7fff
+	}
+}

@@ -1,0 +1,53 @@
+package float
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBinary32VsNative cross-checks the soft-float against Go's hardware
+// IEEE arithmetic on fuzzer-chosen bit patterns.
+func FuzzBinary32VsNative(f *testing.F) {
+	f.Add(uint32(0x3f800000), uint32(0x40000000))
+	f.Add(uint32(0x00000001), uint32(0x807fffff)) // subnormals
+	f.Add(uint32(0x7f800000), uint32(0xff800000)) // infinities
+	f.Add(uint32(0x7fc00000), uint32(0x00000000)) // NaN, zero
+	f.Add(uint32(0x7f7fffff), uint32(0x7f7fffff)) // max finite
+	f.Fuzz(func(t *testing.T, a, b uint32) {
+		check := func(got uint64, ref float32) {
+			want := uint64(math.Float32bits(ref))
+			if Binary32.IsNaN(want) {
+				if !Binary32.IsNaN(got) {
+					t.Fatalf("a=%#x b=%#x: got %#x, want NaN", a, b, got)
+				}
+				return
+			}
+			if got != want {
+				t.Fatalf("a=%#x b=%#x: got %#x, want %#x", a, b, got, want)
+			}
+		}
+		fa, fb := math.Float32frombits(a), math.Float32frombits(b)
+		check(Binary32.Mul(uint64(a), uint64(b)), fa*fb)
+		check(Binary32.Add(uint64(a), uint64(b)), fa+fb)
+		check(Binary32.Sub(uint64(a), uint64(b)), fa-fb)
+	})
+}
+
+// FuzzBinary16TotalFunction checks that every half-precision op is total:
+// any 16-bit patterns produce a valid 16-bit result (no panic, no bits
+// above the format width).
+func FuzzBinary16TotalFunction(f *testing.F) {
+	f.Add(uint16(0x3c00), uint16(0xfbff))
+	f.Add(uint16(0x0001), uint16(0x83ff))
+	f.Fuzz(func(t *testing.T, a, b uint16) {
+		for _, r := range []uint64{
+			Binary16.Mul(uint64(a), uint64(b)),
+			Binary16.Add(uint64(a), uint64(b)),
+			Binary16.MulAdd(uint64(a), uint64(b), uint64(a)),
+		} {
+			if r>>16 != 0 {
+				t.Fatalf("result %#x exceeds 16 bits", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package matchlib
+
+import "fmt"
+
+// MemArray is the abstract memory class: an array of data as internal
+// state with read and write methods, plus banked-addressing helpers used
+// by the scratchpad modules. Address 0 is the first word; the array maps
+// to SRAM macros during physical design.
+type MemArray[T any] struct {
+	data  []T
+	banks int
+
+	reads, writes uint64 // access counters for power analysis
+}
+
+// NewMemArray returns a zeroed memory of size words organized as banks
+// interleaved word-wise (bank = addr mod banks).
+func NewMemArray[T any](size, banks int) *MemArray[T] {
+	if size < 1 {
+		panic(fmt.Sprintf("matchlib: memory size %d < 1", size))
+	}
+	if banks < 1 || size%banks != 0 {
+		panic(fmt.Sprintf("matchlib: %d banks do not divide size %d", banks, size))
+	}
+	return &MemArray[T]{data: make([]T, size), banks: banks}
+}
+
+// Size returns the number of words.
+func (m *MemArray[T]) Size() int { return len(m.data) }
+
+// Banks returns the bank count.
+func (m *MemArray[T]) Banks() int { return m.banks }
+
+// BankOf returns the bank that holds addr (word interleaving).
+func (m *MemArray[T]) BankOf(addr int) int { return addr % m.banks }
+
+// Read returns the word at addr.
+func (m *MemArray[T]) Read(addr int) T {
+	m.check(addr)
+	m.reads++
+	return m.data[addr]
+}
+
+// Write stores v at addr.
+func (m *MemArray[T]) Write(addr int, v T) {
+	m.check(addr)
+	m.writes++
+	m.data[addr] = v
+}
+
+// Accesses returns the cumulative read and write counts, the switching
+// activity inputs to the power model.
+func (m *MemArray[T]) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+
+func (m *MemArray[T]) check(addr int) {
+	if addr < 0 || addr >= len(m.data) {
+		panic(fmt.Sprintf("matchlib: memory address %d out of range [0,%d)", addr, len(m.data)))
+	}
+}

@@ -1,0 +1,131 @@
+package matchlib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// quick.Check-driven invariants over the untimed component classes.
+
+func TestQuickArbiterGrantsSubset(t *testing.T) {
+	a := NewArbiter(64)
+	if err := quick.Check(func(req uint64) bool {
+		g := a.Pick(req)
+		if req == 0 {
+			return g == -1
+		}
+		return g >= 0 && g < 64 && req&(1<<uint(g)) != 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOneHotInverse(t *testing.T) {
+	if err := quick.Check(func(raw uint8) bool {
+		idx := int(raw % 64)
+		m := OneHotEncode(idx, 64)
+		back, ok := OneHotDecode(m)
+		return ok && back == idx
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFIFOOrdering(t *testing.T) {
+	if err := quick.Check(func(vals []int) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		f := NewFIFO[int](len(vals))
+		for _, v := range vals {
+			f.Push(v)
+		}
+		for _, v := range vals {
+			if f.Pop() != v {
+				return false
+			}
+		}
+		return f.Empty()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReorderBufferFIFOWhenInOrder(t *testing.T) {
+	// Writing tags in allocation order degenerates to a FIFO.
+	if err := quick.Check(func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		r := NewReorderBuffer[uint32](len(vals))
+		tags := make([]Tag, len(vals))
+		for i := range vals {
+			tags[i] = r.Allocate()
+		}
+		for i, v := range vals {
+			r.Write(tags[i], v)
+		}
+		for _, v := range vals {
+			if !r.CanPop() || r.Pop() != v {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCrossbarIsPermutationAction(t *testing.T) {
+	// Routing by the identity yields the input; routing twice by a
+	// permutation and its inverse is the identity.
+	if err := quick.Check(func(data []uint16, rot uint8) bool {
+		n := len(data)
+		if n == 0 {
+			return true
+		}
+		k := int(rot) % n
+		perm := make([]int, n) // src[dst] = (dst+k) mod n: a rotation
+		inv := make([]int, n)
+		for d := 0; d < n; d++ {
+			perm[d] = (d + k) % n
+			inv[(d+k)%n] = d
+		}
+		rotated := CrossbarDstLoop(data, perm)
+		back := CrossbarDstLoop(rotated, inv)
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVectorAlgebra(t *testing.T) {
+	if err := quick.Check(func(xs, ys []int32) bool {
+		n := min2(len(xs), len(ys))
+		a, b := Vector[int32](xs[:n]), Vector[int32](ys[:n])
+		// Commutativity and Mac identity: mac(a,b,0) == mul(a,b).
+		ab, ba := a.Add(b), b.Add(a)
+		mac := a.Mac(b, NewVector[int32](n))
+		mul := a.Mul(b)
+		for i := 0; i < n; i++ {
+			if ab[i] != ba[i] || mac[i] != mul[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

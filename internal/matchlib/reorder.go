@@ -1,0 +1,89 @@
+package matchlib
+
+import "fmt"
+
+// ReorderBuffer is the queue with in-order reads and out-of-order writes:
+// producers allocate slots in program order, fill them in any order, and
+// the consumer drains completed entries strictly in allocation order.
+type ReorderBuffer[T any] struct {
+	entries []robEntry[T]
+	head    int // oldest allocated slot
+	tail    int // next slot to allocate
+	n       int // allocated entries
+}
+
+type robEntry[T any] struct {
+	v     T
+	valid bool
+}
+
+// Tag identifies an allocated reorder-buffer slot.
+type Tag int
+
+// NewReorderBuffer returns an empty buffer with the given capacity.
+func NewReorderBuffer[T any](capacity int) *ReorderBuffer[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("matchlib: reorder buffer capacity %d < 1", capacity))
+	}
+	return &ReorderBuffer[T]{entries: make([]robEntry[T], capacity)}
+}
+
+// CanAllocate reports whether a slot is available.
+func (r *ReorderBuffer[T]) CanAllocate() bool { return r.n < len(r.entries) }
+
+// Allocate reserves the next in-order slot and returns its tag. It panics
+// when full; guard with CanAllocate.
+func (r *ReorderBuffer[T]) Allocate() Tag {
+	if !r.CanAllocate() {
+		panic("matchlib: Allocate on full reorder buffer")
+	}
+	t := Tag(r.tail)
+	r.entries[r.tail] = robEntry[T]{}
+	r.tail = (r.tail + 1) % len(r.entries)
+	r.n++
+	return t
+}
+
+// Write fills the slot identified by tag, in any order. Writing a slot
+// twice or an unallocated slot panics.
+func (r *ReorderBuffer[T]) Write(tag Tag, v T) {
+	i := int(tag)
+	if i < 0 || i >= len(r.entries) || !r.allocated(i) {
+		panic(fmt.Sprintf("matchlib: Write to unallocated reorder tag %d", tag))
+	}
+	if r.entries[i].valid {
+		panic(fmt.Sprintf("matchlib: double Write to reorder tag %d", tag))
+	}
+	r.entries[i] = robEntry[T]{v: v, valid: true}
+}
+
+// CanPop reports whether the oldest allocated slot has been filled.
+func (r *ReorderBuffer[T]) CanPop() bool {
+	return r.n > 0 && r.entries[r.head].valid
+}
+
+// Pop removes and returns the oldest entry. It panics unless CanPop.
+func (r *ReorderBuffer[T]) Pop() T {
+	if !r.CanPop() {
+		panic("matchlib: Pop on reorder buffer head not ready")
+	}
+	v := r.entries[r.head].v
+	r.entries[r.head] = robEntry[T]{}
+	r.head = (r.head + 1) % len(r.entries)
+	r.n--
+	return v
+}
+
+// Len returns the number of allocated entries.
+func (r *ReorderBuffer[T]) Len() int { return r.n }
+
+// allocated reports whether slot i lies in [head, tail).
+func (r *ReorderBuffer[T]) allocated(i int) bool {
+	if r.n == 0 {
+		return false
+	}
+	if r.head < r.tail {
+		return i >= r.head && i < r.tail
+	}
+	return i >= r.head || i < r.tail
+}

@@ -1,0 +1,120 @@
+package matchlib
+
+import "fmt"
+
+// Number constrains the element types the Vector helpers operate on.
+type Number interface {
+	~int8 | ~int16 | ~int32 | ~int64 | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// Vector is the helper container with elementwise vector operations used
+// to describe PE datapaths. All binary operations require equal lengths.
+type Vector[T Number] []T
+
+// NewVector returns a zero vector of length n.
+func NewVector[T Number](n int) Vector[T] { return make(Vector[T], n) }
+
+func (v Vector[T]) checkSame(w Vector[T], op string) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("matchlib: vector %s length mismatch %d vs %d", op, len(v), len(w)))
+	}
+}
+
+// Add returns v + w elementwise.
+func (v Vector[T]) Add(w Vector[T]) Vector[T] {
+	v.checkSame(w, "Add")
+	out := make(Vector[T], len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w elementwise.
+func (v Vector[T]) Sub(w Vector[T]) Vector[T] {
+	v.checkSame(w, "Sub")
+	out := make(Vector[T], len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Mul returns v * w elementwise.
+func (v Vector[T]) Mul(w Vector[T]) Vector[T] {
+	v.checkSame(w, "Mul")
+	out := make(Vector[T], len(v))
+	for i := range v {
+		out[i] = v[i] * w[i]
+	}
+	return out
+}
+
+// Mac returns acc + v*w elementwise (multiply-accumulate).
+func (v Vector[T]) Mac(w, acc Vector[T]) Vector[T] {
+	v.checkSame(w, "Mac")
+	v.checkSame(acc, "Mac")
+	out := make(Vector[T], len(v))
+	for i := range v {
+		out[i] = acc[i] + v[i]*w[i]
+	}
+	return out
+}
+
+// Scale returns v * k.
+func (v Vector[T]) Scale(k T) Vector[T] {
+	out := make(Vector[T], len(v))
+	for i := range v {
+		out[i] = v[i] * k
+	}
+	return out
+}
+
+// Reduce returns the sum of all elements (tree reduction in hardware).
+func (v Vector[T]) Reduce() T {
+	var acc T
+	for _, x := range v {
+		acc += x
+	}
+	return acc
+}
+
+// Dot returns the dot product of v and w.
+func (v Vector[T]) Dot(w Vector[T]) T {
+	v.checkSame(w, "Dot")
+	var acc T
+	for i := range v {
+		acc += v[i] * w[i]
+	}
+	return acc
+}
+
+// Max returns the maximum element. It panics on an empty vector.
+func (v Vector[T]) Max() T {
+	if len(v) == 0 {
+		panic("matchlib: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element (first on ties). It
+// panics on an empty vector. K-means assignment uses this.
+func (v Vector[T]) ArgMin() int {
+	if len(v) == 0 {
+		panic("matchlib: ArgMin of empty vector")
+	}
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] < v[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,84 @@
+// Package noc implements the MatchLib network-on-chip modules: the
+// store-and-forward router (SFRouter), the wormhole router with virtual
+// channels (WHVCRouter), network interfaces that packetize/depacketize
+// messages, and mesh/ring topology builders. The prototype SoC's PE array
+// uses a WHVC mesh, as in the paper's Figure 5.
+package noc
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/connections"
+	"repro/internal/sim"
+)
+
+// Packet is the unit of end-to-end NoC communication.
+type Packet struct {
+	Src, Dst int
+	ID       uint64
+	Payload  []uint64
+}
+
+// Flit is one cycle of link transfer. A packet becomes a head flit
+// followed by one flit per payload word; the final flit carries Tail.
+type Flit struct {
+	Head, Tail bool
+	Src, Dst   int
+	VC         int
+	PktID      uint64
+	Data       uint64
+}
+
+// PackBits renders the flit's wire image for RTL-cosim channels.
+func (f Flit) PackBits() bitvec.Vec {
+	meta := uint64(0)
+	if f.Head {
+		meta |= 1
+	}
+	if f.Tail {
+		meta |= 2
+	}
+	meta |= uint64(f.VC&0x3) << 2
+	meta |= uint64(f.Dst&0xff) << 4
+	meta |= uint64(f.Src&0xff) << 12
+	return bitvec.FromUint64(f.Data, 64).Concat(bitvec.FromUint64(meta, 20))
+}
+
+// Flits serializes the packet on virtual channel vc.
+func (p Packet) Flits(vc int) []Flit {
+	flits := make([]Flit, 0, len(p.Payload)+1)
+	head := Flit{Head: true, Src: p.Src, Dst: p.Dst, VC: vc, PktID: p.ID}
+	if len(p.Payload) == 0 {
+		head.Tail = true
+		return append(flits, head)
+	}
+	flits = append(flits, head)
+	for i, w := range p.Payload {
+		flits = append(flits, Flit{
+			Src: p.Src, Dst: p.Dst, VC: vc, PktID: p.ID,
+			Data: w, Tail: i == len(p.Payload)-1,
+		})
+	}
+	return flits
+}
+
+// RouteFunc maps a destination node to a local output port of a router.
+type RouteFunc func(dst int) int
+
+// VCMapFunc optionally rewrites a flit's virtual channel as it leaves on
+// an output port — the dateline mechanism that makes rings deadlock-free.
+type VCMapFunc func(outPort, vc int) int
+
+// TerminateFlit binds a single flit out/in port pair to idle stub
+// channels, used for unconnected edge ports of store-and-forward routers.
+func TerminateFlit(clk *sim.Clock, name string, out *connections.Out[Flit], in *connections.In[Flit]) {
+	connections.Buffer(clk, name+".o", 1, out, connections.NewIn[Flit]())
+	connections.Buffer(clk, name+".i", 1, connections.NewOut[Flit](), in)
+}
+
+// RouterStats counts router activity.
+type RouterStats struct {
+	FlitsIn   uint64
+	FlitsOut  uint64
+	PacketsIn uint64
+	Stalls    uint64 // output offers rejected by back-pressure
+}

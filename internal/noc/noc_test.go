@@ -1,0 +1,435 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/connections"
+	"repro/internal/sim"
+)
+
+func TestPacketFlitsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 200; iter++ {
+		p := Packet{Src: r.Intn(16), Dst: r.Intn(16), ID: r.Uint64()}
+		for k := 0; k < r.Intn(6); k++ {
+			p.Payload = append(p.Payload, r.Uint64())
+		}
+		flits := p.Flits(r.Intn(2))
+		if !flits[0].Head {
+			t.Fatal("first flit not head")
+		}
+		if !flits[len(flits)-1].Tail {
+			t.Fatal("last flit not tail")
+		}
+		if len(p.Payload) == 0 {
+			if len(flits) != 1 {
+				t.Fatal("empty packet should be one flit")
+			}
+			continue
+		}
+		for i, f := range flits[1 : len(flits)-1] {
+			if f.Head || f.Tail {
+				t.Fatalf("flit %d has head/tail flags", i+1)
+			}
+		}
+		if len(flits) != len(p.Payload)+1 {
+			t.Fatalf("%d flits for %d payload words", len(flits), len(p.Payload))
+		}
+		for i, w := range p.Payload {
+			if flits[i+1].Data != w {
+				t.Fatalf("payload word %d corrupted", i)
+			}
+		}
+	}
+}
+
+// runMeshTraffic sends packets over a mesh and verifies complete,
+// uncorrupted, per-(src,dst)-ordered delivery.
+func runMeshTraffic(t *testing.T, w, h, pktsPerNode int, payloadMax int, seed int64, opts ...connections.Option) uint64 {
+	t.Helper()
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	m := BuildMesh(clk, "m", w, h, 2, 4, opts...)
+	n := w * h
+
+	type key struct{ src, dst int }
+	want := map[key][]Packet{}
+	r := rand.New(rand.NewSource(seed))
+	var nextID uint64
+	progs := make([][]Packet, n)
+	total := 0
+	for src := 0; src < n; src++ {
+		for k := 0; k < pktsPerNode; k++ {
+			dst := r.Intn(n)
+			if dst == src {
+				continue
+			}
+			p := Packet{Src: src, Dst: dst, ID: nextID}
+			nextID++
+			for j := 0; j <= r.Intn(payloadMax+1); j++ {
+				p.Payload = append(p.Payload, r.Uint64())
+			}
+			progs[src] = append(progs[src], p)
+			want[key{src, dst}] = append(want[key{src, dst}], p)
+			total++
+		}
+	}
+	for src := 0; src < n; src++ {
+		src := src
+		clk.Spawn(fmt.Sprintf("gen%d", src), func(th *sim.Thread) {
+			for _, p := range progs[src] {
+				m.Inject[src].Push(th, p)
+				th.Wait()
+			}
+		})
+	}
+	received := 0
+	got := map[key][]Packet{}
+	var doneCycle uint64
+	for dst := 0; dst < n; dst++ {
+		dst := dst
+		clk.Spawn(fmt.Sprintf("sink%d", dst), func(th *sim.Thread) {
+			for {
+				if p, ok := m.Eject[dst].PopNB(th); ok {
+					got[key{p.Src, dst}] = append(got[key{p.Src, dst}], p)
+					received++
+					if received == total {
+						doneCycle = th.Cycle()
+						th.Sim().Stop()
+					}
+				}
+				th.Wait()
+			}
+		})
+	}
+	s.Run(sim.Time(2_000_000_000))
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if received != total {
+		t.Fatalf("delivered %d/%d packets", received, total)
+	}
+	for k, ps := range want {
+		g := got[k]
+		if len(g) != len(ps) {
+			t.Fatalf("flow %v: %d/%d packets", k, len(g), len(ps))
+		}
+		// Packets of a flow may arrive reordered across VCs, so match by
+		// ID; payloads must be intact.
+		byID := map[uint64]Packet{}
+		for _, p := range g {
+			byID[p.ID] = p
+		}
+		for _, p := range ps {
+			q, ok := byID[p.ID]
+			if !ok {
+				t.Fatalf("flow %v: packet %d lost", k, p.ID)
+			}
+			if len(q.Payload) != len(p.Payload) {
+				t.Fatalf("flow %v pkt %d: payload length %d vs %d", k, p.ID, len(q.Payload), len(p.Payload))
+			}
+			for i := range p.Payload {
+				if q.Payload[i] != p.Payload[i] {
+					t.Fatalf("flow %v pkt %d word %d corrupted", k, p.ID, i)
+				}
+			}
+		}
+	}
+	return doneCycle
+}
+
+func TestMesh2x2Delivery(t *testing.T) {
+	runMeshTraffic(t, 2, 2, 20, 4, 71)
+}
+
+func TestMesh4x4Delivery(t *testing.T) {
+	runMeshTraffic(t, 4, 4, 10, 3, 72)
+}
+
+func TestMeshUnderStallInjection(t *testing.T) {
+	// The paper's verification story: random stalls on every link must
+	// not break delivery.
+	runMeshTraffic(t, 2, 2, 10, 3, 73, connections.WithStall(0.25, 0.25, 5))
+}
+
+func TestMeshRTLCosimMode(t *testing.T) {
+	fast := runMeshTraffic(t, 2, 2, 10, 3, 74)
+	slow := runMeshTraffic(t, 2, 2, 10, 3, 74, connections.WithMode(connections.ModeRTLCosim))
+	if slow <= fast {
+		t.Fatalf("RTL-cosim finished in %d cycles <= sim-accurate %d; pipeline latency missing", slow, fast)
+	}
+}
+
+func TestRingDelivery(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	const n = 6
+	rg := BuildRing(clk, "r", n, 4)
+	const pkts = 12
+	total := 0
+	for src := 0; src < n; src++ {
+		src := src
+		clk.Spawn(fmt.Sprintf("gen%d", src), func(th *sim.Thread) {
+			for k := 0; k < pkts; k++ {
+				dst := (src + 1 + k%(n-1)) % n
+				rg.Inject[src].Push(th, Packet{Src: src, Dst: dst, ID: uint64(src*1000 + k), Payload: []uint64{uint64(k)}})
+				th.Wait()
+			}
+		})
+		total += pkts
+	}
+	received := 0
+	for dst := 0; dst < n; dst++ {
+		dst := dst
+		clk.Spawn(fmt.Sprintf("sink%d", dst), func(th *sim.Thread) {
+			for {
+				if p, ok := rg.Eject[dst].PopNB(th); ok {
+					if p.Dst != dst {
+						t.Errorf("packet for %d at %d", p.Dst, dst)
+					}
+					received++
+					if received == total {
+						th.Sim().Stop()
+					}
+				}
+				th.Wait()
+			}
+		})
+	}
+	s.Run(100_000_000)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if received != total {
+		t.Fatalf("ring delivered %d/%d — possible deadlock", received, total)
+	}
+}
+
+// Wormhole property: within one VC on any link, packets never interleave.
+func TestWormholeNoInterleaving(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	r := NewWHVCRouter(clk, "r", 3, 1, func(dst int) int { return 2 }, nil)
+
+	// Two sources racing for output 2 on the same (single) VC.
+	srcs := make([]*connections.Out[Flit], 2)
+	for i := range srcs {
+		srcs[i] = connections.NewOut[Flit]()
+		connections.Buffer(clk, fmt.Sprintf("in%d", i), 2, srcs[i], r.In[i][0])
+		i := i
+		clk.Spawn(fmt.Sprintf("src%d", i), func(th *sim.Thread) {
+			for k := 0; k < 10; k++ {
+				p := Packet{Src: i, Dst: 9, ID: uint64(i*100 + k), Payload: []uint64{1, 2, 3}}
+				for _, f := range p.Flits(0) {
+					srcs[i].Push(th, f)
+					th.Wait()
+				}
+			}
+		})
+	}
+	terminatePort(clk, "t2", []*connections.Out[Flit]{connections.NewOut[Flit]()}, r.In[2])
+
+	sink := connections.NewIn[Flit]()
+	connections.Buffer(clk, "out", 2, r.Out[2][0], sink)
+	terminatePort(clk, "t0o", r.Out[0], []*connections.In[Flit]{connections.NewIn[Flit]()})
+	terminatePort(clk, "t1o", r.Out[1], []*connections.In[Flit]{connections.NewIn[Flit]()})
+
+	var current uint64
+	inPkt := false
+	seen := 0
+	clk.Spawn("sink", func(th *sim.Thread) {
+		for {
+			if f, ok := sink.PopNB(th); ok {
+				if f.Head {
+					if inPkt {
+						t.Errorf("head of pkt %d arrived inside pkt %d", f.PktID, current)
+					}
+					current, inPkt = f.PktID, true
+				} else if !inPkt || f.PktID != current {
+					t.Errorf("flit of pkt %d interleaved into pkt %d", f.PktID, current)
+				}
+				if f.Tail {
+					inPkt = false
+					seen++
+					if seen == 20 {
+						th.Sim().Stop()
+					}
+				}
+			}
+			th.Wait()
+		}
+	})
+	s.Run(100_000_000)
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 20 {
+		t.Fatalf("saw %d/20 packets", seen)
+	}
+}
+
+// The load-latency curve must have the canonical NoC shape: flat latency
+// at low load, rising sharply past saturation, with throughput
+// monotonically non-decreasing up to saturation.
+func TestLoadLatencyCurveShape(t *testing.T) {
+	pts := LoadLatencySweep(4, 4, []float64{0.02, 0.10, 0.30, 0.60}, 3000, 2, 5)
+	for i, p := range pts {
+		if p.Delivered == 0 {
+			t.Fatalf("load %.2f delivered nothing", p.OfferedLoad)
+		}
+		if i > 0 && p.MeanLatency < pts[i-1].MeanLatency*0.9 {
+			t.Errorf("latency dropped with load: %.1f @ %.2f after %.1f @ %.2f",
+				p.MeanLatency, p.OfferedLoad, pts[i-1].MeanLatency, pts[i-1].OfferedLoad)
+		}
+	}
+	lo, hi := pts[0], pts[len(pts)-1]
+	if hi.MeanLatency < 2*lo.MeanLatency {
+		t.Errorf("no congestion signature: %.1f cycles at %.2f load vs %.1f at %.2f",
+			hi.MeanLatency, hi.OfferedLoad, lo.MeanLatency, lo.OfferedLoad)
+	}
+	if hi.Throughput < lo.Throughput {
+		t.Errorf("throughput fell below low-load point: %.3f vs %.3f", hi.Throughput, lo.Throughput)
+	}
+}
+
+func TestModeLatencyComparison(t *testing.T) {
+	lat := ModeLatencyComparison(3, 3, 2500, 9)
+	tlm := lat[connections.ModeSimAccurate]
+	rtl := lat[connections.ModeRTLCosim]
+	if tlm <= 0 || rtl <= 0 {
+		t.Fatalf("missing measurements: %v", lat)
+	}
+	if rtl <= tlm {
+		t.Fatalf("RTL-cosim latency %.1f not above TLM %.1f (pipeline registers missing)", rtl, tlm)
+	}
+}
+
+// Ablation: store-and-forward latency grows with packet length faster
+// than wormhole cut-through... SF must at minimum deliver correctly.
+func TestSFRouterDelivery(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	// 2-router line: src NI -> r0 -> r1 -> sink NI, local ports 0.
+	route0 := func(dst int) int {
+		if dst == 0 {
+			return 0
+		}
+		return 1
+	}
+	route1 := func(dst int) int {
+		if dst == 1 {
+			return 0
+		}
+		return 1
+	}
+	r0 := NewSFRouter(clk, "r0", 2, 2, route0)
+	r1 := NewSFRouter(clk, "r1", 2, 2, route1)
+	connections.Buffer(clk, "link", 2, r0.Out[1], r1.In[1])
+	TerminateFlit(clk, "r1term", r1.Out[1], r1.In[0])
+	TerminateFlit(clk, "r0term", r0.Out[0], r0.In[1])
+
+	src := connections.NewOut[Flit]()
+	connections.Buffer(clk, "src", 2, src, r0.In[0])
+	sink := connections.NewIn[Flit]()
+	connections.Buffer(clk, "sink", 2, r1.Out[0], sink)
+
+	const pkts = 8
+	clk.Spawn("gen", func(th *sim.Thread) {
+		for k := 0; k < pkts; k++ {
+			p := Packet{Src: 0, Dst: 1, ID: uint64(k), Payload: []uint64{uint64(k), uint64(k * 2)}}
+			for _, f := range p.Flits(0) {
+				src.Push(th, f)
+				th.Wait()
+			}
+		}
+	})
+	got := 0
+	clk.Spawn("sink", func(th *sim.Thread) {
+		for {
+			if f, ok := sink.PopNB(th); ok && f.Tail {
+				got++
+				if got == pkts {
+					th.Sim().Stop()
+				}
+			}
+			th.Wait()
+		}
+	})
+	s.Run(10_000_000)
+	if got != pkts {
+		t.Fatalf("SF delivered %d/%d", got, pkts)
+	}
+}
+
+// Store-and-forward pays per-hop serialization: compare single-packet
+// latency across a 1×4 line of routers for a long packet.
+func TestSFSlowerThanWormholeForLongPackets(t *testing.T) {
+	latency := func(useSF bool) uint64 {
+		s := sim.New()
+		clk := s.AddClock("clk", 1000, 0)
+		const hops = 4
+		payload := make([]uint64, 12)
+		var ins []*connections.In[Flit]   // forward input of each router
+		var outs []*connections.Out[Flit] // forward output of each router
+		var locs []*connections.Out[Flit] // local output of each router
+		for i := 0; i < hops; i++ {
+			i := i
+			route := func(dst int) int {
+				if dst == i {
+					return 0
+				}
+				return 1
+			}
+			if useSF {
+				r := NewSFRouter(clk, fmt.Sprintf("r%d", i), 2, 2, route)
+				ins = append(ins, r.In[1])
+				outs = append(outs, r.Out[1])
+				locs = append(locs, r.Out[0])
+				connections.Buffer(clk, fmt.Sprintf("loc%d", i), 1, connections.NewOut[Flit](), r.In[0])
+			} else {
+				r := NewWHVCRouter(clk, fmt.Sprintf("r%d", i), 2, 1, route, nil)
+				ins = append(ins, r.In[1][0])
+				outs = append(outs, r.Out[1][0])
+				locs = append(locs, r.Out[0][0])
+				connections.Buffer(clk, fmt.Sprintf("loc%d", i), 1, connections.NewOut[Flit](), r.In[0][0])
+			}
+		}
+		for i := 0; i < hops; i++ {
+			if i+1 < hops {
+				connections.Buffer(clk, fmt.Sprintf("l%d", i), 2, outs[i], ins[i+1])
+				connections.Buffer(clk, fmt.Sprintf("dl%d", i), 1, locs[i], connections.NewIn[Flit]())
+			}
+		}
+		connections.Buffer(clk, "lastout", 1, outs[hops-1], connections.NewIn[Flit]())
+		sink := connections.NewIn[Flit]()
+		connections.Buffer(clk, "sink", 2, locs[hops-1], sink)
+		clk.Spawn("sink", func(th *sim.Thread) {
+			for {
+				if f, ok := sink.PopNB(th); ok && f.Tail {
+					th.Sim().Stop()
+				}
+				th.Wait()
+			}
+		})
+		src := connections.NewOut[Flit]()
+		connections.Buffer(clk, "src", 2, src, ins[0])
+		clk.Spawn("gen", func(th *sim.Thread) {
+			p := Packet{Src: 99, Dst: hops - 1, ID: 1, Payload: payload}
+			for _, f := range p.Flits(0) {
+				src.Push(th, f)
+				th.Wait()
+			}
+		})
+		s.Run(10_000_000)
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Cycle()
+	}
+	sf, wh := latency(true), latency(false)
+	if sf <= wh {
+		t.Fatalf("SF latency %d <= wormhole %d for a 12-word packet over 4 hops", sf, wh)
+	}
+}

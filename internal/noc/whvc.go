@@ -1,0 +1,146 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/connections"
+	"repro/internal/matchlib"
+	"repro/internal/sim"
+)
+
+// WHVCRouter is the wormhole router with virtual channels from Table 2.
+// Every physical port is modelled as one latency-insensitive channel per
+// virtual channel — the credit-based per-VC buffering of the hardware
+// link — so a VC blocked downstream never blocks its siblings. A head
+// flit arbitrates for an output VC and, once granted, owns it until its
+// tail flit passes (wormhole switching); output VCs interleave freely on
+// a port, which is what makes dateline rings deadlock-free.
+type WHVCRouter struct {
+	In  [][]*connections.In[Flit]  // [port][vc]
+	Out [][]*connections.Out[Flit] // [port][vc]
+
+	Stats RouterStats
+
+	nPorts, nVCs int
+	lock         [][]outLock         // [outPort][vcOut]
+	arbs         []*matchlib.Arbiter // [outPort] over inPort*nVCs requesters
+	route        RouteFunc
+	vcMap        VCMapFunc
+}
+
+type outLock struct {
+	active bool
+	inPort int
+	vc     int // input VC that owns this output VC
+}
+
+// NewWHVCRouter builds a router with nPorts ports and nVCs virtual
+// channels per port. route maps destinations to output ports; vcMap may
+// be nil (identity). VC buffering depth is set by the channels bound to
+// the ports.
+func NewWHVCRouter(clk *sim.Clock, name string, nPorts, nVCs int, route RouteFunc, vcMap VCMapFunc) *WHVCRouter {
+	if nPorts < 1 || nVCs < 1 || nPorts*nVCs > 64 {
+		panic(fmt.Sprintf("noc: router geometry %d ports × %d VCs unsupported", nPorts, nVCs))
+	}
+	if vcMap == nil {
+		vcMap = func(outPort, vc int) int { return vc }
+	}
+	r := &WHVCRouter{
+		In:     make([][]*connections.In[Flit], nPorts),
+		Out:    make([][]*connections.Out[Flit], nPorts),
+		nPorts: nPorts,
+		nVCs:   nVCs,
+		lock:   make([][]outLock, nPorts),
+		arbs:   make([]*matchlib.Arbiter, nPorts),
+		route:  route,
+		vcMap:  vcMap,
+	}
+	for i := 0; i < nPorts; i++ {
+		r.In[i] = make([]*connections.In[Flit], nVCs)
+		r.Out[i] = make([]*connections.Out[Flit], nVCs)
+		for v := 0; v < nVCs; v++ {
+			r.In[i][v] = connections.NewIn[Flit]()
+			r.Out[i][v] = connections.NewOut[Flit]()
+		}
+		r.lock[i] = make([]outLock, nVCs)
+		r.arbs[i] = matchlib.NewArbiter(nPorts * nVCs)
+	}
+	clk.Spawn(name+".whvc", func(th *sim.Thread) { r.run(th) })
+	return r
+}
+
+func (r *WHVCRouter) run(th *sim.Thread) {
+	inUsed := make([]bool, r.nPorts)
+	for {
+		// Each output port sends at most one flit per cycle, chosen
+		// round-robin among (a) input VCs that own one of its output VCs
+		// and have a flit ready and (b) head flits requesting a free
+		// output VC. Each input port also supplies at most one flit per
+		// cycle (single crossbar input per port).
+		for i := range inUsed {
+			inUsed[i] = false
+		}
+		for o := 0; o < r.nPorts; o++ {
+			var req uint64
+			for i := 0; i < r.nPorts; i++ {
+				if inUsed[i] {
+					continue
+				}
+				for v := 0; v < r.nVCs; v++ {
+					f, ok := r.In[i][v].Peek()
+					if !ok {
+						continue
+					}
+					vOut := r.vcMap(o, v)
+					lk := r.lock[o][vOut]
+					if f.Head {
+						if r.route(f.Dst) == o && !lk.active {
+							req |= 1 << uint(i*r.nVCs+v)
+						}
+					} else if lk.active && lk.inPort == i && lk.vc == v {
+						req |= 1 << uint(i*r.nVCs+v)
+					}
+				}
+			}
+			if req == 0 {
+				continue
+			}
+			g := r.arbs[o].Pick(req)
+			if g < 0 {
+				continue
+			}
+			if r.forward(th, o, g/r.nVCs, g%r.nVCs) {
+				inUsed[g/r.nVCs] = true
+			}
+		}
+		th.Wait()
+	}
+}
+
+// forward offers the head of In[i][v] to output o; on acceptance it
+// retires the flit, acquiring the output VC at the head and releasing it
+// at the tail. It reports whether a flit moved.
+func (r *WHVCRouter) forward(th *sim.Thread, o, i, v int) bool {
+	f, _ := r.In[i][v].Peek()
+	vOut := r.vcMap(o, v)
+	f.VC = vOut
+	if !r.Out[o][vOut].PushNB(th, f) {
+		r.Stats.Stalls++
+		return false
+	}
+	if _, ok := r.In[i][v].PopNB(th); !ok {
+		panic("noc: peeked flit vanished before pop")
+	}
+	r.Stats.FlitsIn++
+	r.Stats.FlitsOut++
+	if f.Head {
+		r.Stats.PacketsIn++
+	}
+	switch {
+	case f.Tail:
+		r.lock[o][vOut] = outLock{}
+	case f.Head:
+		r.lock[o][vOut] = outLock{active: true, inPort: i, vc: v}
+	}
+	return true
+}

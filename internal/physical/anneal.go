@@ -1,0 +1,144 @@
+package physical
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Connectivity weights the traffic between two partitions; the annealer
+// minimizes weighted center-to-center wirelength subject to the shelf
+// packer's no-overlap guarantee.
+type Connectivity struct {
+	A, B   string  // partition names (replicas expand pairwise)
+	Weight float64 // relative traffic (e.g. flits/cycle)
+}
+
+// RefineResult reports an annealing run.
+type RefineResult struct {
+	Plan        *Floorplan
+	InitialCost float64
+	FinalCost   float64
+	Accepted    int
+	Moves       int
+}
+
+// Refine runs simulated annealing over the placement order and block
+// aspect ratios, re-packing with the shelf algorithm after every move so
+// the no-overlap invariant holds by construction. Cost is die area plus
+// weighted wirelength between connected partitions.
+func Refine(parts []Partition, conns []Connectivity, t *Tech, iterations int, seed int64) RefineResult {
+	rng := rand.New(rand.NewSource(seed))
+
+	// State: a permutation of instance order and an aspect ratio per
+	// unique partition.
+	type inst struct {
+		part int // index into parts
+		rep  int
+	}
+	var order []inst
+	for pi, p := range parts {
+		for r := 0; r < p.Replicas; r++ {
+			order = append(order, inst{part: pi, rep: r})
+		}
+	}
+	aspect := make([]float64, len(parts))
+	for i := range aspect {
+		aspect[i] = 1.15
+	}
+
+	pack := func() *Floorplan {
+		// Shelf-pack in the current order with the current aspects.
+		total := 0.0
+		fp := &Floorplan{}
+		var areas []float64
+		for _, p := range parts {
+			areas = append(areas, p.AreaUM2(t))
+			total += p.AreaUM2(t) * float64(p.Replicas)
+		}
+		dieW := math.Sqrt(total) * 1.12
+		fp.DieW, fp.UsedArea = dieW, total
+		x, y, shelfH := 0.0, 0.0, 0.0
+		for _, in := range order {
+			a := areas[in.part]
+			w := math.Sqrt(a * aspect[in.part])
+			h := a / w
+			if x+w > dieW && x > 0 {
+				y += shelfH
+				x, shelfH = 0, 0
+			}
+			fp.Rects = append(fp.Rects, Rect{
+				Name: parts[in.part].Name, X: x, Y: y, W: w, H: h,
+			})
+			x += w
+			if h > shelfH {
+				shelfH = h
+			}
+		}
+		fp.DieH = y + shelfH
+		return fp
+	}
+
+	cost := func(fp *Floorplan) float64 {
+		// Centers per partition name (replicas contribute all pairs).
+		centers := map[string][][2]float64{}
+		for _, r := range fp.Rects {
+			centers[r.Name] = append(centers[r.Name], [2]float64{r.X + r.W/2, r.Y + r.H/2})
+		}
+		wl := 0.0
+		for _, c := range conns {
+			for _, ca := range centers[c.A] {
+				for _, cb := range centers[c.B] {
+					wl += c.Weight * (math.Abs(ca[0]-cb[0]) + math.Abs(ca[1]-cb[1]))
+				}
+			}
+		}
+		return fp.DieW*fp.DieH + 0.5*wl
+	}
+
+	cur := pack()
+	curCost := cost(cur)
+	res := RefineResult{InitialCost: curCost}
+	best, bestCost := cur, curCost
+
+	temp := curCost * 0.05
+	for it := 0; it < iterations; it++ {
+		res.Moves++
+		// Propose: swap two instances, or perturb an aspect ratio.
+		var undo func()
+		if rng.Intn(3) < 2 && len(order) > 1 {
+			i, j := rng.Intn(len(order)), rng.Intn(len(order))
+			order[i], order[j] = order[j], order[i]
+			undo = func() { order[i], order[j] = order[j], order[i] }
+		} else {
+			p := rng.Intn(len(parts))
+			old := aspect[p]
+			aspect[p] = clamp(old*(0.8+0.4*rng.Float64()), 0.4, 2.5)
+			undo = func() { aspect[p] = old }
+		}
+		cand := pack()
+		cc := cost(cand)
+		if cc <= curCost || rng.Float64() < math.Exp((curCost-cc)/temp) {
+			cur, curCost = cand, cc
+			res.Accepted++
+			if cc < bestCost {
+				best, bestCost = cand, cc
+			}
+		} else {
+			undo()
+		}
+		temp *= 0.999
+	}
+	res.Plan = best
+	res.FinalCost = bestCost
+	return res
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,68 @@
+package physical
+
+import (
+	"math"
+	"testing"
+)
+
+func testConnectivity() []Connectivity {
+	// The SoC's traffic: PEs talk to both memories and the controller.
+	return []Connectivity{
+		{A: "pe", B: "gmem_l", Weight: 4},
+		{A: "pe", B: "gmem_r", Weight: 4},
+		{A: "pe", B: "riscv", Weight: 1},
+		{A: "riscv", B: "io", Weight: 2},
+		{A: "gmem_l", B: "io", Weight: 1},
+	}
+}
+
+func TestRefineImprovesCost(t *testing.T) {
+	r := Refine(testchip(), testConnectivity(), &Default16nm, 1500, 3)
+	if r.FinalCost > r.InitialCost {
+		t.Fatalf("annealing worsened cost: %.0f -> %.0f", r.InitialCost, r.FinalCost)
+	}
+	if r.Accepted == 0 || r.Moves != 1500 {
+		t.Fatalf("move accounting wrong: %+v", r)
+	}
+}
+
+func TestRefinePreservesInvariants(t *testing.T) {
+	r := Refine(testchip(), testConnectivity(), &Default16nm, 800, 5)
+	fp := r.Plan
+	if bad := fp.Overlaps(); len(bad) != 0 {
+		t.Fatalf("refined plan overlaps: %v", bad)
+	}
+	if len(fp.Rects) != 19 {
+		t.Fatalf("refined plan lost instances: %d rects", len(fp.Rects))
+	}
+	for _, rc := range fp.Rects {
+		if rc.X < -1e-9 || rc.Y < -1e-9 || rc.X+rc.W > fp.DieW+1e-6 || rc.Y+rc.H > fp.DieH+1e-6 {
+			t.Fatalf("rect %s escapes refined die", rc.Name)
+		}
+	}
+	// Area is conserved: packing cannot shrink silicon.
+	var sum float64
+	for _, rc := range fp.Rects {
+		sum += rc.W * rc.H
+	}
+	if math.Abs(sum-fp.UsedArea)/fp.UsedArea > 1e-6 {
+		t.Fatalf("placed area %.0f != used area %.0f", sum, fp.UsedArea)
+	}
+}
+
+func TestRefineDeterministicPerSeed(t *testing.T) {
+	a := Refine(testchip(), testConnectivity(), &Default16nm, 500, 7)
+	b := Refine(testchip(), testConnectivity(), &Default16nm, 500, 7)
+	if a.FinalCost != b.FinalCost || a.Accepted != b.Accepted {
+		t.Fatalf("same seed, different results: %.2f/%d vs %.2f/%d",
+			a.FinalCost, a.Accepted, b.FinalCost, b.Accepted)
+	}
+}
+
+func TestRefineMoreIterationsNoWorse(t *testing.T) {
+	short := Refine(testchip(), testConnectivity(), &Default16nm, 100, 9)
+	long := Refine(testchip(), testConnectivity(), &Default16nm, 3000, 9)
+	if long.FinalCost > short.FinalCost*1.001 {
+		t.Fatalf("3000 iterations (%.0f) worse than 100 (%.0f)", long.FinalCost, short.FinalCost)
+	}
+}

@@ -1,0 +1,149 @@
+package physical
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gals"
+)
+
+// ClockPlan compares the two top-level clocking styles of §3.1: a
+// balanced global tree distributed to every partition (synchronous
+// baseline) versus per-partition local generators with pausible
+// bisynchronous FIFO interfaces (fine-grained GALS).
+type ClockPlan struct {
+	Style string
+
+	Buffers        int     // clock buffers in the global (or local) trees
+	SkewPS         float64 // worst sink-to-sink skew relevant to timing
+	TimingMarginPS float64 // period margin charged to inter-partition paths
+	ExtraGates     int     // clocking area: buffers + generators + CDC FIFOs
+	TopLevelPaths  int     // synchronous top-level timing paths to close
+}
+
+// SynchronousClockPlan models a single global clock source balanced to
+// every partition replica.
+func SynchronousClockPlan(parts []Partition, fp *Floorplan, t *Tech) ClockPlan {
+	sinks := 0
+	crossPaths := 0
+	for _, p := range parts {
+		sinks += flopEstimate(p.Gates) * p.Replicas
+		crossPaths += 64 * p.AsyncIfc * p.Replicas // bus-width paths per interface
+	}
+	levels := int(math.Ceil(math.Log(float64(sinks)) / math.Log(float64(t.ClkBufFanout))))
+	buffers := 0
+	n := sinks
+	for l := 0; l < levels; l++ {
+		n = (n + t.ClkBufFanout - 1) / t.ClkBufFanout
+		buffers += n
+	}
+	skew := t.SkewPSPerMM*fp.SpanMM() + t.JitterPS
+	return ClockPlan{
+		Style:          "synchronous",
+		Buffers:        buffers,
+		SkewPS:         skew,
+		TimingMarginPS: skew,        // inter-partition paths see full global skew
+		ExtraGates:     buffers * 2, // a clock buffer ≈ 2 NAND2 equivalents
+		TopLevelPaths:  crossPaths,
+	}
+}
+
+// GALSClockPlan models fine-grained GALS: local generators per replica,
+// local trees only, and asynchronous top-level interfaces.
+func GALSClockPlan(parts []Partition, fp *Floorplan, t *Tech) ClockPlan {
+	buffers := 0
+	extra := 0
+	for _, p := range parts {
+		sinks := flopEstimate(p.Gates)
+		levels := int(math.Ceil(math.Log(float64(sinks)) / math.Log(float64(t.ClkBufFanout))))
+		b := 0
+		n := sinks
+		for l := 0; l < levels; l++ {
+			n = (n + t.ClkBufFanout - 1) / t.ClkBufFanout
+			b += n
+		}
+		buffers += b * p.Replicas
+		o := gals.GALSOverhead(p.Gates, p.AsyncIfc)
+		extra += (o.ClockGenGates + o.FIFOGates) * p.Replicas
+	}
+	return ClockPlan{
+		Style:          "fine-grained GALS",
+		Buffers:        buffers,
+		SkewPS:         t.LocalSkewPS,
+		TimingMarginPS: 0, // correct-by-construction async interfaces
+		// Partition-internal trees exist under either style, so the GALS
+		// cost is the generators plus the pausible CDC FIFOs — the <3%
+		// figure of §3.1.
+		ExtraGates:    extra,
+		TopLevelPaths: 0,
+	}
+}
+
+// flopEstimate approximates flop count as a fraction of gates.
+func flopEstimate(gates int) int {
+	f := gates / 8
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// OverheadPct returns the clocking area as a percentage of total gates.
+func (c ClockPlan) OverheadPct(parts []Partition) float64 {
+	total := 0
+	for _, p := range parts {
+		total += p.TotalGates()
+	}
+	return 100 * float64(c.ExtraGates) / float64(total)
+}
+
+func (c ClockPlan) String() string {
+	return fmt.Sprintf("%s: %d buffers, %.0fps skew, %.0fps top margin, %d top-level paths, +%d gates",
+		c.Style, c.Buffers, c.SkewPS, c.TimingMarginPS, c.TopLevelPaths, c.ExtraGates)
+}
+
+// RuntimeModel estimates back-end tool runtime. Hierarchical P&R runs
+// partitions in parallel and reuses each unique partition across its
+// replicas; a flat run sees the whole gate count at once with
+// super-linear scaling.
+type RuntimeModel struct {
+	SetupHours    float64 // per-run fixed cost (floorplan, constraints)
+	HoursPerMGate float64 // P&R throughput at the 1M-gate scale
+	ScalingExp    float64 // super-linear exponent for flat runs
+}
+
+// DefaultRuntime reflects overnight-class tool runtimes.
+var DefaultRuntime = RuntimeModel{SetupHours: 1.0, HoursPerMGate: 5.0, ScalingExp: 1.35}
+
+// partitionHours is the runtime for one block of the given size.
+func (m RuntimeModel) partitionHours(gates int) float64 {
+	mg := float64(gates) / 1e6
+	return m.SetupHours + m.HoursPerMGate*math.Pow(mg, m.ScalingExp)
+}
+
+// TurnaroundReport compares flat vs hierarchical back-end runtimes.
+type TurnaroundReport struct {
+	FlatHours         float64
+	HierSerialHours   float64 // unique partitions, one machine
+	HierParallelHours float64 // unique partitions in parallel + assembly
+	UniquePartitions  int
+}
+
+// Turnaround computes the report for a chip.
+func (m RuntimeModel) Turnaround(parts []Partition) TurnaroundReport {
+	r := TurnaroundReport{UniquePartitions: len(parts)}
+	total := 0
+	longest := 0.0
+	for _, p := range parts {
+		total += p.TotalGates()
+		h := m.partitionHours(p.Gates) // replicas reuse the same layout
+		r.HierSerialHours += h
+		if h > longest {
+			longest = h
+		}
+	}
+	r.FlatHours = m.partitionHours(total)
+	assembly := m.SetupHours + 0.5 // top-level stitch: abutment + async ifaces
+	r.HierParallelHours = longest + assembly
+	return r
+}

@@ -1,0 +1,144 @@
+// Package physical is the back-end substrate of the flow (§3 of the
+// paper): hierarchical partitioning, a shelf floorplanner with
+// no-overlap/containment invariants, Rent's-rule wirelength estimation,
+// clock distribution models for fully-synchronous versus fine-grained
+// GALS chips, and the flow-runtime model behind the paper's 12-hour
+// RTL-to-layout turnaround claim.
+package physical
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tech holds the physical technology parameters (16nm-class defaults).
+type Tech struct {
+	GateAreaUM2  float64 // silicon area per NAND2 equivalent, placed
+	Utilization  float64 // placement utilization target
+	SRAMUM2PerKb float64 // macro area per Kbit
+	MetalPitchUM float64 // routing pitch for wirelength estimates
+	ClkBufFanout int     // clock buffer fanout per tree level
+	SkewPSPerMM  float64 // skew accumulation per mm of tree span (with OCV)
+	JitterPS     float64 // source jitter
+	LocalSkewPS  float64 // skew inside one partition-local tree
+}
+
+// Default16nm is the generic 16nm physical model.
+var Default16nm = Tech{
+	GateAreaUM2:  0.20,
+	Utilization:  0.70,
+	SRAMUM2PerKb: 45,
+	MetalPitchUM: 0.064,
+	ClkBufFanout: 24,
+	SkewPSPerMM:  22,
+	JitterPS:     12,
+	LocalSkewPS:  8,
+}
+
+// Partition is one physical-design unit: a netlist placed and routed
+// independently and instantiated Replicas times at the top level.
+type Partition struct {
+	Name     string
+	Gates    int // NAND2 equivalents, one replica
+	SRAMKb   int
+	Replicas int
+	AsyncIfc int // GALS interfaces per replica
+}
+
+// TotalGates returns gates across all replicas.
+func (p Partition) TotalGates() int { return p.Gates * p.Replicas }
+
+// AreaUM2 returns the placed area of one replica.
+func (p Partition) AreaUM2(t *Tech) float64 {
+	return float64(p.Gates)*t.GateAreaUM2/t.Utilization + float64(p.SRAMKb)*t.SRAMUM2PerKb
+}
+
+// Rect is a placed rectangle in micrometres.
+type Rect struct {
+	Name       string
+	X, Y, W, H float64
+}
+
+// Floorplan is the result of placing every partition replica on the die.
+type Floorplan struct {
+	DieW, DieH float64
+	Rects      []Rect
+	UsedArea   float64
+}
+
+// Floorplan packs all partition replicas onto a near-square die using a
+// shelf algorithm. Every replica of a partition reuses the same physical
+// implementation — the physical-reuse benefit of hierarchical design.
+func Plan(parts []Partition, t *Tech) *Floorplan {
+	type inst struct {
+		name string
+		w, h float64
+	}
+	var insts []inst
+	total := 0.0
+	for _, p := range parts {
+		a := p.AreaUM2(t)
+		// Near-square blocks with a mild aspect preference.
+		w := math.Sqrt(a * 1.15)
+		h := a / w
+		for r := 0; r < p.Replicas; r++ {
+			insts = append(insts, inst{name: fmt.Sprintf("%s_%d", p.Name, r), w: w, h: h})
+		}
+		total += a * float64(p.Replicas)
+	}
+	sort.Slice(insts, func(i, j int) bool {
+		if insts[i].h != insts[j].h {
+			return insts[i].h > insts[j].h
+		}
+		return insts[i].name < insts[j].name
+	})
+	dieW := math.Sqrt(total) * 1.12 // whitespace for top-level routing
+	fp := &Floorplan{DieW: dieW, UsedArea: total}
+	x, y, shelfH := 0.0, 0.0, 0.0
+	for _, in := range insts {
+		if x+in.w > dieW && x > 0 {
+			y += shelfH
+			x, shelfH = 0, 0
+		}
+		fp.Rects = append(fp.Rects, Rect{Name: in.name, X: x, Y: y, W: in.w, H: in.h})
+		x += in.w
+		if in.h > shelfH {
+			shelfH = in.h
+		}
+	}
+	fp.DieH = y + shelfH
+	return fp
+}
+
+// Overlaps reports any pair of overlapping rectangles (should be none).
+func (f *Floorplan) Overlaps() []string {
+	var bad []string
+	for i := 0; i < len(f.Rects); i++ {
+		for j := i + 1; j < len(f.Rects); j++ {
+			a, b := f.Rects[i], f.Rects[j]
+			if a.X < b.X+b.W && b.X < a.X+a.W && a.Y < b.Y+b.H && b.Y < a.Y+a.H {
+				bad = append(bad, a.Name+"/"+b.Name)
+			}
+		}
+	}
+	return bad
+}
+
+// SpanMM returns the die diagonal in millimetres, the span a global
+// clock tree must cover.
+func (f *Floorplan) SpanMM() float64 {
+	return math.Hypot(f.DieW, f.DieH) / 1000
+}
+
+// WirelengthMM estimates total routed wirelength for a block of the
+// given gate count via a Rent's-rule power law.
+func WirelengthMM(gates int, t *Tech) float64 {
+	if gates == 0 {
+		return 0
+	}
+	// wl per gate ≈ k · gates^(p-0.5) in gate pitches; k=0.9, p=0.65.
+	pitch := math.Sqrt(t.GateAreaUM2 / t.Utilization)
+	perGate := 0.9 * math.Pow(float64(gates), 0.15) * pitch
+	return float64(gates) * perGate / 1000
+}

@@ -1,0 +1,129 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testchip is the paper's five unique partitions: 15 replicated PEs, two
+// global-memory halves, the RISC-V, and I/O (§4, "Back-end Design").
+func testchip() []Partition {
+	return []Partition{
+		{Name: "pe", Gates: 280_000, SRAMKb: 128, Replicas: 15, AsyncIfc: 2},
+		{Name: "gmem_l", Gates: 350_000, SRAMKb: 1024, Replicas: 1, AsyncIfc: 2},
+		{Name: "gmem_r", Gates: 350_000, SRAMKb: 1024, Replicas: 1, AsyncIfc: 2},
+		{Name: "riscv", Gates: 600_000, SRAMKb: 256, Replicas: 1, AsyncIfc: 2},
+		{Name: "io", Gates: 150_000, SRAMKb: 16, Replicas: 1, AsyncIfc: 3},
+	}
+}
+
+func TestFloorplanInvariants(t *testing.T) {
+	fp := Plan(testchip(), &Default16nm)
+	if bad := fp.Overlaps(); len(bad) != 0 {
+		t.Fatalf("overlapping rects: %v", bad)
+	}
+	if len(fp.Rects) != 19 {
+		t.Fatalf("%d rects, want 19 (15 PEs + 4)", len(fp.Rects))
+	}
+	for _, r := range fp.Rects {
+		if r.X < -1e-9 || r.Y < -1e-9 || r.X+r.W > fp.DieW+1e-6 || r.Y+r.H > fp.DieH+1e-6 {
+			t.Fatalf("rect %s escapes die", r.Name)
+		}
+	}
+	if fp.DieW*fp.DieH < fp.UsedArea {
+		t.Fatal("die smaller than contents")
+	}
+}
+
+// Property: random partition mixes always floorplan without overlap and
+// with bounded whitespace.
+func TestFloorplanRandomProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	for iter := 0; iter < 100; iter++ {
+		var parts []Partition
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			parts = append(parts, Partition{
+				Name:     string(rune('a' + i)),
+				Gates:    10_000 + r.Intn(2_000_000),
+				SRAMKb:   r.Intn(512),
+				Replicas: 1 + r.Intn(16),
+			})
+		}
+		fp := Plan(parts, &Default16nm)
+		if bad := fp.Overlaps(); len(bad) != 0 {
+			t.Fatalf("iter %d: overlaps %v", iter, bad)
+		}
+		util := fp.UsedArea / (fp.DieW * fp.DieH)
+		if util < 0.30 {
+			t.Fatalf("iter %d: utilization %.2f implausibly low", iter, util)
+		}
+	}
+}
+
+func TestWirelengthMonotone(t *testing.T) {
+	prev := 0.0
+	for _, g := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		wl := WirelengthMM(g, &Default16nm)
+		if wl <= prev {
+			t.Fatalf("wirelength not monotone at %d gates", g)
+		}
+		prev = wl
+	}
+}
+
+func TestClockPlansSyncVsGALS(t *testing.T) {
+	parts := testchip()
+	fp := Plan(parts, &Default16nm)
+	syn := SynchronousClockPlan(parts, fp, &Default16nm)
+	gls := GALSClockPlan(parts, fp, &Default16nm)
+
+	if gls.TimingMarginPS != 0 {
+		t.Errorf("GALS inter-partition margin %.0f, want 0 (correct-by-construction)", gls.TimingMarginPS)
+	}
+	if syn.TimingMarginPS <= 0 {
+		t.Error("synchronous plan must charge skew margin")
+	}
+	if gls.TopLevelPaths != 0 {
+		t.Errorf("GALS has %d top-level synchronous paths, want 0", gls.TopLevelPaths)
+	}
+	if syn.TopLevelPaths == 0 {
+		t.Error("synchronous plan must have top-level paths to close")
+	}
+	if gls.SkewPS >= syn.SkewPS {
+		t.Errorf("GALS local skew %.0f >= global skew %.0f", gls.SkewPS, syn.SkewPS)
+	}
+	// The paper's area claim: the GALS clocking overhead stays small.
+	if pct := gls.OverheadPct(parts); pct >= 3 {
+		t.Errorf("GALS clocking overhead %.2f%% >= 3%%", pct)
+	}
+}
+
+func TestTurnaroundTwelveHourClass(t *testing.T) {
+	r := DefaultRuntime.Turnaround(testchip())
+	if r.HierParallelHours >= r.FlatHours {
+		t.Fatalf("hierarchical parallel %.1fh >= flat %.1fh", r.HierParallelHours, r.FlatHours)
+	}
+	if r.HierParallelHours >= r.HierSerialHours {
+		t.Fatalf("parallel %.1fh >= serial %.1fh", r.HierParallelHours, r.HierSerialHours)
+	}
+	// The paper reports a 12-hour RTL-to-layout turnaround with these
+	// partition sizes; the model should land in that regime (≤ a day).
+	if r.HierParallelHours > 24 {
+		t.Fatalf("hierarchical turnaround %.1fh, expected overnight-class", r.HierParallelHours)
+	}
+	if r.FlatHours < 24 {
+		t.Fatalf("flat runtime %.1fh implausibly fast for an 87M-transistor SoC", r.FlatHours)
+	}
+}
+
+func TestReplicasReuseLayout(t *testing.T) {
+	one := DefaultRuntime.Turnaround([]Partition{{Name: "pe", Gates: 280_000, Replicas: 1}})
+	many := DefaultRuntime.Turnaround([]Partition{{Name: "pe", Gates: 280_000, Replicas: 15}})
+	if many.HierSerialHours != one.HierSerialHours {
+		t.Fatalf("replicas changed hierarchical runtime: %.2f vs %.2f", many.HierSerialHours, one.HierSerialHours)
+	}
+	if many.FlatHours <= one.FlatHours {
+		t.Fatal("flat runtime must grow with replicas")
+	}
+}

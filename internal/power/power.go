@@ -1,0 +1,92 @@
+// Package power is the power-analysis substrate of the flow (the Power
+// Analysis stage of the paper's Figure 1): an activity-based model that
+// converts netlist switching activity, SRAM access counts, and gate
+// counts into dynamic and leakage power estimates for a 16nm-class node.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+	"repro/internal/synth"
+)
+
+// Model holds the electrical parameters of the power estimate.
+type Model struct {
+	VDD           float64 // volts
+	ToggleFJ      float64 // switching energy per gate-output toggle, fJ (at VDDRef)
+	VDDRef        float64 // voltage the ToggleFJ figure is quoted at
+	LeakNWPerGate float64 // leakage per NAND2-equivalent, nW
+	SRAMReadPJ    float64 // energy per SRAM word read, pJ
+	SRAMWritePJ   float64 // energy per SRAM word write, pJ
+}
+
+// Default16nm is the generic power model matching synth.Default16nm.
+var Default16nm = Model{
+	VDD:           0.80,
+	ToggleFJ:      0.45,
+	VDDRef:        0.80,
+	LeakNWPerGate: 4.0,
+	SRAMReadPJ:    4.5,
+	SRAMWritePJ:   5.5,
+}
+
+// Report is a power estimate for a block.
+type Report struct {
+	Name      string
+	DynamicMW float64
+	LeakageMW float64
+	SRAMMW    float64
+	TotalMW   float64
+
+	Toggles uint64
+	Cycles  uint64
+}
+
+// scale adjusts switching energy for the operating voltage (CV² scaling).
+func (m Model) scale() float64 {
+	r := m.VDD / m.VDDRef
+	return r * r
+}
+
+// FromSimulation estimates power for a netlist exercised by a simulator
+// run at freqMHz: dynamic power from observed toggles, leakage from the
+// mapped area.
+func (m Model) FromSimulation(name string, sim *rtl.Simulator, nl *rtl.Netlist, lib *synth.TechLib, freqMHz float64) Report {
+	r := Report{Name: name, Toggles: sim.Toggles, Cycles: sim.Cycles}
+	if sim.Cycles > 0 {
+		togglesPerCycle := float64(sim.Toggles) / float64(sim.Cycles)
+		// mW = toggles/cycle × fJ/toggle × cycles/s ÷ 1e12
+		r.DynamicMW = togglesPerCycle * m.ToggleFJ * m.scale() * freqMHz * 1e6 / 1e12
+	}
+	r.LeakageMW = lib.NetlistArea(nl) * m.LeakNWPerGate / 1e6
+	r.TotalMW = r.DynamicMW + r.LeakageMW
+	return r
+}
+
+// SRAMPower converts access counts over elapsed cycles into average power
+// at freqMHz.
+func (m Model) SRAMPower(reads, writes, cycles uint64, freqMHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	pjPerCycle := (float64(reads)*m.SRAMReadPJ + float64(writes)*m.SRAMWritePJ) / float64(cycles)
+	return pjPerCycle * freqMHz * 1e6 / 1e9 // mW
+}
+
+// FromActivity estimates power from aggregate counts when no netlist
+// simulation is available (architectural power estimate): assumes a
+// fraction of gates toggles each cycle.
+func (m Model) FromActivity(name string, gateCount int, activity float64, freqMHz float64, sramReads, sramWrites, cycles uint64) Report {
+	r := Report{Name: name, Cycles: cycles}
+	r.DynamicMW = float64(gateCount) * activity * m.ToggleFJ * m.scale() * freqMHz * 1e6 / 1e12
+	r.LeakageMW = float64(gateCount) * m.LeakNWPerGate / 1e6
+	r.SRAMMW = m.SRAMPower(sramReads, sramWrites, cycles, freqMHz)
+	r.TotalMW = r.DynamicMW + r.LeakageMW + r.SRAMMW
+	return r
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: %.3f mW dynamic + %.3f mW leakage + %.3f mW SRAM = %.3f mW",
+		r.Name, r.DynamicMW, r.LeakageMW, r.SRAMMW, r.TotalMW)
+}

@@ -1,0 +1,227 @@
+package riscv
+
+import "fmt"
+
+// Register aliases (ABI names).
+const (
+	Zero = 0
+	RA   = 1
+	SP   = 2
+	T0   = 5
+	T1   = 6
+	T2   = 7
+	S0   = 8
+	S1   = 9
+	A0   = 10
+	A1   = 11
+	A2   = 12
+	A3   = 13
+	A4   = 14
+	A5   = 15
+	S2   = 18
+	S3   = 19
+	S4   = 20
+)
+
+// Program assembles RV32I machine code through builder calls with label
+// support — the controller firmware of the SoC tests is written with it.
+type Program struct {
+	Base   uint32
+	words  []uint32
+	labels map[string]uint32
+	fixups []fixup
+}
+
+type fixup struct {
+	index int
+	label string
+	kind  byte // 'b' branch, 'j' jal, 'u' lui+addi pair (hi), 'l' (lo)
+}
+
+// NewProgram starts a program at the given base address.
+func NewProgram(base uint32) *Program {
+	return &Program{Base: base, labels: map[string]uint32{}}
+}
+
+func (p *Program) emit(w uint32) *Program {
+	p.words = append(p.words, w)
+	return p
+}
+
+func (p *Program) pc() uint32 { return p.Base + uint32(len(p.words))*4 }
+
+// Label defines a label at the current position.
+func (p *Program) Label(name string) *Program {
+	if _, dup := p.labels[name]; dup {
+		panic("riscv: duplicate label " + name)
+	}
+	p.labels[name] = p.pc()
+	return p
+}
+
+func rtype(funct7, rs2, rs1, funct3, rd, opcode uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+func itype(imm int32, rs1, funct3, rd, opcode uint32) uint32 {
+	return uint32(imm)<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+func stype(imm int32, rs2, rs1, funct3 uint32) uint32 {
+	u := uint32(imm)
+	return (u>>5&0x7f)<<25 | rs2<<20 | rs1<<15 | funct3<<12 | (u&0x1f)<<7 | 0x23
+}
+
+func btype(imm int32, rs2, rs1, funct3 uint32) uint32 {
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3f)<<25 | rs2<<20 | rs1<<15 | funct3<<12 |
+		(u>>1&0xf)<<8 | (u>>11&1)<<7 | 0x63
+}
+
+func jtype(imm int32, rd uint32) uint32 {
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3ff)<<21 | (u>>11&1)<<20 | (u>>12&0xff)<<12 | rd<<7 | 0x6f
+}
+
+// ADDI and friends.
+func (p *Program) ADDI(rd, rs1 uint32, imm int32) *Program {
+	return p.emit(itype(imm, rs1, 0, rd, 0x13))
+}
+func (p *Program) SLTI(rd, rs1 uint32, imm int32) *Program {
+	return p.emit(itype(imm, rs1, 2, rd, 0x13))
+}
+func (p *Program) SLTIU(rd, rs1 uint32, imm int32) *Program {
+	return p.emit(itype(imm, rs1, 3, rd, 0x13))
+}
+func (p *Program) XORI(rd, rs1 uint32, imm int32) *Program {
+	return p.emit(itype(imm, rs1, 4, rd, 0x13))
+}
+func (p *Program) ORI(rd, rs1 uint32, imm int32) *Program {
+	return p.emit(itype(imm, rs1, 6, rd, 0x13))
+}
+func (p *Program) ANDI(rd, rs1 uint32, imm int32) *Program {
+	return p.emit(itype(imm, rs1, 7, rd, 0x13))
+}
+func (p *Program) SLLI(rd, rs1, shamt uint32) *Program {
+	return p.emit(itype(int32(shamt), rs1, 1, rd, 0x13))
+}
+func (p *Program) SRLI(rd, rs1, shamt uint32) *Program {
+	return p.emit(itype(int32(shamt), rs1, 5, rd, 0x13))
+}
+func (p *Program) SRAI(rd, rs1, shamt uint32) *Program {
+	return p.emit(itype(int32(shamt|0x400), rs1, 5, rd, 0x13))
+}
+
+// Register-register ALU ops.
+func (p *Program) ADD(rd, rs1, rs2 uint32) *Program { return p.emit(rtype(0, rs2, rs1, 0, rd, 0x33)) }
+func (p *Program) SUB(rd, rs1, rs2 uint32) *Program {
+	return p.emit(rtype(0x20, rs2, rs1, 0, rd, 0x33))
+}
+func (p *Program) SLL(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(0, rs2, rs1, 1, rd, 0x33)) }
+func (p *Program) SLT(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(0, rs2, rs1, 2, rd, 0x33)) }
+func (p *Program) SLTU(rd, rs1, rs2 uint32) *Program { return p.emit(rtype(0, rs2, rs1, 3, rd, 0x33)) }
+func (p *Program) XOR(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(0, rs2, rs1, 4, rd, 0x33)) }
+func (p *Program) SRL(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(0, rs2, rs1, 5, rd, 0x33)) }
+func (p *Program) SRA(rd, rs1, rs2 uint32) *Program {
+	return p.emit(rtype(0x20, rs2, rs1, 5, rd, 0x33))
+}
+func (p *Program) OR(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(0, rs2, rs1, 6, rd, 0x33)) }
+func (p *Program) AND(rd, rs1, rs2 uint32) *Program { return p.emit(rtype(0, rs2, rs1, 7, rd, 0x33)) }
+
+// M-extension multiply/divide.
+func (p *Program) MUL(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(1, rs2, rs1, 0, rd, 0x33)) }
+func (p *Program) MULH(rd, rs1, rs2 uint32) *Program { return p.emit(rtype(1, rs2, rs1, 1, rd, 0x33)) }
+func (p *Program) MULHSU(rd, rs1, rs2 uint32) *Program {
+	return p.emit(rtype(1, rs2, rs1, 2, rd, 0x33))
+}
+func (p *Program) MULHU(rd, rs1, rs2 uint32) *Program { return p.emit(rtype(1, rs2, rs1, 3, rd, 0x33)) }
+func (p *Program) DIV(rd, rs1, rs2 uint32) *Program   { return p.emit(rtype(1, rs2, rs1, 4, rd, 0x33)) }
+func (p *Program) DIVU(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(1, rs2, rs1, 5, rd, 0x33)) }
+func (p *Program) REM(rd, rs1, rs2 uint32) *Program   { return p.emit(rtype(1, rs2, rs1, 6, rd, 0x33)) }
+func (p *Program) REMU(rd, rs1, rs2 uint32) *Program  { return p.emit(rtype(1, rs2, rs1, 7, rd, 0x33)) }
+
+// Upper-immediate and memory ops.
+func (p *Program) LUI(rd uint32, imm uint32) *Program { return p.emit(imm&0xfffff000 | rd<<7 | 0x37) }
+func (p *Program) LW(rd, rs1 uint32, off int32) *Program {
+	return p.emit(itype(off, rs1, 2, rd, 0x03))
+}
+func (p *Program) LBU(rd, rs1 uint32, off int32) *Program {
+	return p.emit(itype(off, rs1, 4, rd, 0x03))
+}
+func (p *Program) SW(rs2, rs1 uint32, off int32) *Program { return p.emit(stype(off, rs2, rs1, 2)) }
+func (p *Program) SB(rs2, rs1 uint32, off int32) *Program { return p.emit(stype(off, rs2, rs1, 0)) }
+
+// LI loads a 32-bit constant (LUI+ADDI as needed).
+func (p *Program) LI(rd uint32, v uint32) *Program {
+	lo := int32(v<<20) >> 20 // sign-extended low 12
+	hi := v - uint32(lo)
+	if hi != 0 {
+		p.LUI(rd, hi)
+		if lo != 0 {
+			p.ADDI(rd, rd, lo)
+		}
+		return p
+	}
+	return p.ADDI(rd, Zero, lo)
+}
+
+// Branches to labels.
+func (p *Program) branch(f3 uint32, rs1, rs2 uint32, label string) *Program {
+	p.fixups = append(p.fixups, fixup{index: len(p.words), label: label, kind: 'b'})
+	return p.emit(btype(0, rs2, rs1, f3))
+}
+func (p *Program) BEQ(rs1, rs2 uint32, l string) *Program  { return p.branch(0, rs1, rs2, l) }
+func (p *Program) BNE(rs1, rs2 uint32, l string) *Program  { return p.branch(1, rs1, rs2, l) }
+func (p *Program) BLT(rs1, rs2 uint32, l string) *Program  { return p.branch(4, rs1, rs2, l) }
+func (p *Program) BGE(rs1, rs2 uint32, l string) *Program  { return p.branch(5, rs1, rs2, l) }
+func (p *Program) BLTU(rs1, rs2 uint32, l string) *Program { return p.branch(6, rs1, rs2, l) }
+func (p *Program) BGEU(rs1, rs2 uint32, l string) *Program { return p.branch(7, rs1, rs2, l) }
+
+// JAL jumps to a label, linking into rd.
+func (p *Program) JAL(rd uint32, label string) *Program {
+	p.fixups = append(p.fixups, fixup{index: len(p.words), label: label, kind: 'j'})
+	return p.emit(jtype(0, rd))
+}
+
+// J is an unconditional jump.
+func (p *Program) J(label string) *Program { return p.JAL(Zero, label) }
+
+// JALR jumps register-indirect.
+func (p *Program) JALR(rd, rs1 uint32, off int32) *Program {
+	return p.emit(itype(off, rs1, 0, rd, 0x67))
+}
+
+// ECALL halts the model.
+func (p *Program) ECALL() *Program { return p.emit(0x73) }
+
+// NOP is addi x0, x0, 0.
+func (p *Program) NOP() *Program { return p.ADDI(Zero, Zero, 0) }
+
+// Assemble resolves labels and returns the machine code words.
+func (p *Program) Assemble() []uint32 {
+	for _, f := range p.fixups {
+		target, ok := p.labels[f.label]
+		if !ok {
+			panic("riscv: undefined label " + f.label)
+		}
+		pc := p.Base + uint32(f.index)*4
+		off := int32(target) - int32(pc)
+		w := p.words[f.index]
+		switch f.kind {
+		case 'b':
+			if off < -4096 || off > 4095 {
+				panic(fmt.Sprintf("riscv: branch to %s out of range (%d)", f.label, off))
+			}
+			rs2 := w >> 20 & 0x1f
+			rs1 := w >> 15 & 0x1f
+			f3 := w >> 12 & 7
+			p.words[f.index] = btype(off, rs2, rs1, f3)
+		case 'j':
+			rd := w >> 7 & 0x1f
+			p.words[f.index] = jtype(off, rd)
+		}
+	}
+	out := make([]uint32, len(p.words))
+	copy(out, p.words)
+	return out
+}

@@ -1,0 +1,364 @@
+// Package rtl holds the gate-level netlist representation produced by
+// logic synthesis (internal/synth), a levelized cycle-accurate netlist
+// simulator (this repository's substitute for the commercial Verilog
+// simulator in the paper's Table 3), and a structural Verilog writer.
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// CellKind enumerates the standard cells of the technology library.
+type CellKind int
+
+// Standard cells.
+const (
+	INV CellKind = iota
+	BUF
+	NAND2
+	NOR2
+	AND2
+	OR2
+	XOR2
+	XNOR2
+	MUX2 // inputs: sel, a (sel=1), b (sel=0)
+	DFF  // input: D; output: Q
+	TIE0
+	TIE1
+	numCellKinds
+)
+
+var cellNames = [...]string{
+	INV: "INV", BUF: "BUF", NAND2: "NAND2", NOR2: "NOR2", AND2: "AND2",
+	OR2: "OR2", XOR2: "XOR2", XNOR2: "XNOR2", MUX2: "MUX2", DFF: "DFF",
+	TIE0: "TIE0", TIE1: "TIE1",
+}
+
+func (k CellKind) String() string { return cellNames[k] }
+
+// NumInputs returns the input count of a cell kind.
+func (k CellKind) NumInputs() int {
+	switch k {
+	case INV, BUF, DFF:
+		return 1
+	case MUX2:
+		return 3
+	case TIE0, TIE1:
+		return 0
+	default:
+		return 2
+	}
+}
+
+// Net identifies a single-bit signal.
+type Net int
+
+// Cell is one standard-cell instance.
+type Cell struct {
+	Kind CellKind
+	Out  Net
+	In   []Net
+}
+
+// PortBit names one bit of a module port.
+type PortBit struct {
+	Name string // port name
+	Bit  int    // bit index within the port
+	Net  Net
+}
+
+// Netlist is a mapped gate-level module.
+type Netlist struct {
+	Name    string
+	NumNets int
+	Inputs  []PortBit
+	Outputs []PortBit
+	Cells   []Cell // combinational cells (every kind but DFF)
+	DFFs    []Cell
+}
+
+// NewNet allocates a fresh net.
+func (n *Netlist) NewNet() Net {
+	id := Net(n.NumNets)
+	n.NumNets++
+	return id
+}
+
+// AddCell appends a combinational cell (or a DFF to the register bank)
+// and returns its output net.
+func (n *Netlist) AddCell(kind CellKind, in ...Net) Net {
+	if len(in) != kind.NumInputs() {
+		panic(fmt.Sprintf("rtl: %v expects %d inputs, got %d", kind, kind.NumInputs(), len(in)))
+	}
+	out := n.NewNet()
+	c := Cell{Kind: kind, Out: out, In: in}
+	if kind == DFF {
+		n.DFFs = append(n.DFFs, c)
+	} else {
+		n.Cells = append(n.Cells, c)
+	}
+	return out
+}
+
+// CellCount returns combinational cell and flop counts.
+func (n *Netlist) CellCount() (comb, flops int) { return len(n.Cells), len(n.DFFs) }
+
+// Levelize returns the combinational cells in topological order: a cell
+// appears after every cell driving one of its inputs. DFF outputs, tie
+// cells and input ports are sources. It panics on a combinational loop.
+func (n *Netlist) Levelize() []Cell {
+	driver := make(map[Net]int, len(n.Cells)) // net -> cell index
+	for i, c := range n.Cells {
+		driver[c.Out] = i
+	}
+	order := make([]Cell, 0, len(n.Cells))
+	state := make([]int8, len(n.Cells)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		switch state[i] {
+		case 1:
+			panic(fmt.Sprintf("rtl: combinational loop through cell %d in %s", i, n.Name))
+		case 2:
+			return
+		}
+		state[i] = 1
+		for _, in := range n.Cells[i].In {
+			if j, ok := driver[in]; ok {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		order = append(order, n.Cells[i])
+	}
+	for i := range n.Cells {
+		visit(i)
+	}
+	return order
+}
+
+// Simulator evaluates a netlist cycle by cycle.
+type Simulator struct {
+	n       *Netlist
+	order   []Cell
+	vals    []bool
+	inNets  map[string][]Net // port name -> bit nets
+	outNets map[string][]Net
+
+	// Toggles counts output-net transitions per cycle, the switching
+	// activity consumed by the power model.
+	Toggles uint64
+	Cycles  uint64
+
+	vcd     *trace.VCD
+	vcdSigs map[string]*trace.Signal
+}
+
+// NewSimulator levelizes and prepares the netlist.
+func NewSimulator(n *Netlist) *Simulator {
+	s := &Simulator{
+		n:       n,
+		order:   n.Levelize(),
+		vals:    make([]bool, n.NumNets),
+		inNets:  map[string][]Net{},
+		outNets: map[string][]Net{},
+	}
+	collect := func(ports []PortBit, into map[string][]Net) {
+		for _, p := range ports {
+			bits := into[p.Name]
+			for len(bits) <= p.Bit {
+				bits = append(bits, -1)
+			}
+			bits[p.Bit] = p.Net
+			into[p.Name] = bits
+		}
+	}
+	collect(n.Inputs, s.inNets)
+	collect(n.Outputs, s.outNets)
+	return s
+}
+
+func (s *Simulator) eval(c Cell) bool {
+	v := s.vals
+	switch c.Kind {
+	case INV:
+		return !v[c.In[0]]
+	case BUF:
+		return v[c.In[0]]
+	case NAND2:
+		return !(v[c.In[0]] && v[c.In[1]])
+	case NOR2:
+		return !(v[c.In[0]] || v[c.In[1]])
+	case AND2:
+		return v[c.In[0]] && v[c.In[1]]
+	case OR2:
+		return v[c.In[0]] || v[c.In[1]]
+	case XOR2:
+		return v[c.In[0]] != v[c.In[1]]
+	case XNOR2:
+		return v[c.In[0]] == v[c.In[1]]
+	case MUX2:
+		if v[c.In[0]] {
+			return v[c.In[1]]
+		}
+		return v[c.In[2]]
+	case TIE0:
+		return false
+	case TIE1:
+		return true
+	default:
+		panic(fmt.Sprintf("rtl: cannot evaluate %v", c.Kind))
+	}
+}
+
+// AttachVCD declares the netlist's ports on v and samples them after
+// every Step, using the cycle count as the timestamp. Call before the
+// first Step.
+func (s *Simulator) AttachVCD(v *trace.VCD) {
+	s.vcd = v
+	s.vcdSigs = map[string]*trace.Signal{}
+	for name, bits := range s.inNets {
+		s.vcdSigs[name] = v.Declare(name, len(bits))
+	}
+	for name, bits := range s.outNets {
+		s.vcdSigs["out."+name] = v.Declare(name+"_o", len(bits))
+	}
+}
+
+// Step applies the input words, settles combinational logic, captures the
+// outputs, and clocks the flops — one cycle.
+func (s *Simulator) Step(inputs map[string]uint64) map[string]uint64 {
+	for name, bits := range s.inNets {
+		w := inputs[name]
+		for i, net := range bits {
+			s.vals[net] = w>>uint(i)&1 == 1
+		}
+	}
+	for _, c := range s.order {
+		nv := s.eval(c)
+		if nv != s.vals[c.Out] {
+			s.Toggles++
+		}
+		s.vals[c.Out] = nv
+	}
+	out := make(map[string]uint64, len(s.outNets))
+	for name, bits := range s.outNets {
+		var w uint64
+		for i, net := range bits {
+			if s.vals[net] {
+				w |= 1 << uint(i)
+			}
+		}
+		out[name] = w
+	}
+	// Rising edge: flops capture D.
+	next := make([]bool, len(s.n.DFFs))
+	for i, d := range s.n.DFFs {
+		next[i] = s.vals[d.In[0]]
+	}
+	for i, d := range s.n.DFFs {
+		if s.vals[d.Out] != next[i] {
+			s.Toggles++
+		}
+		s.vals[d.Out] = next[i]
+	}
+	if s.vcd != nil {
+		for name := range s.inNets {
+			s.vcdSigs[name].Set(inputs[name])
+		}
+		for name := range s.outNets {
+			s.vcdSigs["out."+name].Set(out[name])
+		}
+		s.vcd.Sample(s.Cycles)
+	}
+	s.Cycles++
+	return out
+}
+
+// Verilog renders the netlist as structural Verilog-2001.
+func (n *Netlist) Verilog() string {
+	var sb strings.Builder
+	portNames := map[string]bool{}
+	var ports []string
+	widths := map[string]int{}
+	dir := map[string]string{}
+	for _, p := range n.Inputs {
+		if !portNames[p.Name] {
+			portNames[p.Name] = true
+			ports = append(ports, p.Name)
+			dir[p.Name] = "input"
+		}
+		if p.Bit+1 > widths[p.Name] {
+			widths[p.Name] = p.Bit + 1
+		}
+	}
+	for _, p := range n.Outputs {
+		if !portNames[p.Name] {
+			portNames[p.Name] = true
+			ports = append(ports, p.Name)
+			dir[p.Name] = "output"
+		}
+		if p.Bit+1 > widths[p.Name] {
+			widths[p.Name] = p.Bit + 1
+		}
+	}
+	sort.Strings(ports)
+	fmt.Fprintf(&sb, "module %s(clk, %s);\n", n.Name, strings.Join(ports, ", "))
+	sb.WriteString("  input clk;\n")
+	for _, p := range ports {
+		if widths[p] > 1 {
+			fmt.Fprintf(&sb, "  %s [%d:0] %s;\n", dir[p], widths[p]-1, p)
+		} else {
+			fmt.Fprintf(&sb, "  %s %s;\n", dir[p], p)
+		}
+	}
+	fmt.Fprintf(&sb, "  wire [%d:0] n;\n", n.NumNets-1)
+	for _, p := range n.Inputs {
+		fmt.Fprintf(&sb, "  assign n[%d] = %s[%d];\n", p.Net, p.Name, p.Bit)
+	}
+	for i, c := range n.Cells {
+		switch c.Kind {
+		case TIE0:
+			fmt.Fprintf(&sb, "  assign n[%d] = 1'b0;\n", c.Out)
+		case TIE1:
+			fmt.Fprintf(&sb, "  assign n[%d] = 1'b1;\n", c.Out)
+		case INV:
+			fmt.Fprintf(&sb, "  not g%d(n[%d], n[%d]);\n", i, c.Out, c.In[0])
+		case BUF:
+			fmt.Fprintf(&sb, "  buf g%d(n[%d], n[%d]);\n", i, c.Out, c.In[0])
+		case NAND2:
+			fmt.Fprintf(&sb, "  nand g%d(n[%d], n[%d], n[%d]);\n", i, c.Out, c.In[0], c.In[1])
+		case NOR2:
+			fmt.Fprintf(&sb, "  nor g%d(n[%d], n[%d], n[%d]);\n", i, c.Out, c.In[0], c.In[1])
+		case AND2:
+			fmt.Fprintf(&sb, "  and g%d(n[%d], n[%d], n[%d]);\n", i, c.Out, c.In[0], c.In[1])
+		case OR2:
+			fmt.Fprintf(&sb, "  or g%d(n[%d], n[%d], n[%d]);\n", i, c.Out, c.In[0], c.In[1])
+		case XOR2:
+			fmt.Fprintf(&sb, "  xor g%d(n[%d], n[%d], n[%d]);\n", i, c.Out, c.In[0], c.In[1])
+		case XNOR2:
+			fmt.Fprintf(&sb, "  xnor g%d(n[%d], n[%d], n[%d]);\n", i, c.Out, c.In[0], c.In[1])
+		case MUX2:
+			fmt.Fprintf(&sb, "  assign n[%d] = n[%d] ? n[%d] : n[%d];\n", c.Out, c.In[0], c.In[1], c.In[2])
+		}
+	}
+	if len(n.DFFs) > 0 {
+		// Flop outputs live in a separate reg vector bridged onto the
+		// wire vector, keeping the netlist pure structural Verilog.
+		fmt.Fprintf(&sb, "  reg [%d:0] r;\n", len(n.DFFs)-1)
+		var regs []string
+		for i, d := range n.DFFs {
+			fmt.Fprintf(&sb, "  assign n[%d] = r[%d];\n", d.Out, i)
+			regs = append(regs, fmt.Sprintf("r[%d] <= n[%d];", i, d.In[0]))
+		}
+		fmt.Fprintf(&sb, "  always @(posedge clk) begin %s end\n", strings.Join(regs, " "))
+	}
+	for _, p := range n.Outputs {
+		fmt.Fprintf(&sb, "  assign %s[%d] = n[%d];\n", p.Name, p.Bit, p.Net)
+	}
+	sb.WriteString("endmodule\n")
+	return sb.String()
+}

@@ -1,0 +1,217 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAttachVCD(t *testing.T) {
+	n := &Netlist{Name: "vcd"}
+	a := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
+	n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: 0, Net: n.AddCell(INV, a)})
+	sim := NewSimulator(n)
+	var sb strings.Builder
+	v := trace.NewVCD(&sb)
+	sim.AttachVCD(v)
+	sim.Step(map[string]uint64{"a": 0})
+	sim.Step(map[string]uint64{"a": 1})
+	sim.Step(map[string]uint64{"a": 1})
+	out := sb.String()
+	for _, want := range []string{"$var wire 1", "#0", "#1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#2") {
+		t.Fatalf("unchanged cycle produced events:\n%s", out)
+	}
+}
+
+func TestCellEvaluation(t *testing.T) {
+	n := &Netlist{Name: "cells"}
+	a := n.NewNet()
+	b := n.NewNet()
+	n.Inputs = append(n.Inputs,
+		PortBit{Name: "a", Bit: 0, Net: a},
+		PortBit{Name: "b", Bit: 0, Net: b})
+	outs := map[string]Net{
+		"inv":  n.AddCell(INV, a),
+		"buf":  n.AddCell(BUF, a),
+		"nand": n.AddCell(NAND2, a, b),
+		"nor":  n.AddCell(NOR2, a, b),
+		"and":  n.AddCell(AND2, a, b),
+		"or":   n.AddCell(OR2, a, b),
+		"xor":  n.AddCell(XOR2, a, b),
+		"xnor": n.AddCell(XNOR2, a, b),
+		"mux":  n.AddCell(MUX2, a, b, n.AddCell(TIE1)),
+		"tie0": n.AddCell(TIE0),
+		"tie1": n.AddCell(TIE1),
+	}
+	for name, net := range outs {
+		n.Outputs = append(n.Outputs, PortBit{Name: name, Bit: 0, Net: net})
+	}
+	sim := NewSimulator(n)
+	for av := uint64(0); av < 2; av++ {
+		for bv := uint64(0); bv < 2; bv++ {
+			got := sim.Step(map[string]uint64{"a": av, "b": bv})
+			want := map[string]uint64{
+				"inv":  1 ^ av,
+				"buf":  av,
+				"nand": 1 ^ (av & bv),
+				"nor":  1 ^ (av | bv),
+				"and":  av & bv,
+				"or":   av | bv,
+				"xor":  av ^ bv,
+				"xnor": 1 ^ av ^ bv,
+				"tie0": 0,
+				"tie1": 1,
+			}
+			if av == 1 {
+				want["mux"] = bv
+			} else {
+				want["mux"] = 1 // TIE1 leg
+			}
+			for name, w := range want {
+				if got[name] != w {
+					t.Fatalf("a=%d b=%d %s = %d, want %d", av, bv, name, got[name], w)
+				}
+			}
+		}
+	}
+}
+
+func TestDFFOneCycleDelay(t *testing.T) {
+	n := &Netlist{Name: "dff"}
+	d := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "d", Bit: 0, Net: d})
+	q := n.AddCell(DFF, d)
+	q2 := n.AddCell(DFF, q)
+	n.Outputs = append(n.Outputs,
+		PortBit{Name: "q", Bit: 0, Net: q},
+		PortBit{Name: "q2", Bit: 0, Net: q2})
+	sim := NewSimulator(n)
+	seq := []uint64{1, 0, 1, 1, 0}
+	var qs, q2s []uint64
+	for _, v := range seq {
+		out := sim.Step(map[string]uint64{"d": v})
+		qs = append(qs, out["q"])
+		q2s = append(q2s, out["q2"])
+	}
+	// q lags d by one cycle, q2 by two.
+	for i := 1; i < len(seq); i++ {
+		if qs[i] != seq[i-1] {
+			t.Fatalf("q[%d] = %d, want %d", i, qs[i], seq[i-1])
+		}
+	}
+	for i := 2; i < len(seq); i++ {
+		if q2s[i] != seq[i-2] {
+			t.Fatalf("q2[%d] = %d, want %d", i, q2s[i], seq[i-2])
+		}
+	}
+}
+
+func TestLevelizeOrdersDependencies(t *testing.T) {
+	n := &Netlist{Name: "order"}
+	a := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
+	x := n.AddCell(INV, a)
+	y := n.AddCell(INV, x)
+	z := n.AddCell(AND2, x, y)
+	_ = z
+	order := n.Levelize()
+	pos := map[Net]int{}
+	for i, c := range order {
+		pos[c.Out] = i
+	}
+	if !(pos[x] < pos[y] && pos[y] < pos[z]) {
+		t.Fatalf("levelize order wrong: %v", pos)
+	}
+}
+
+func TestLevelizeDetectsLoop(t *testing.T) {
+	n := &Netlist{Name: "loop"}
+	// Manually create a cycle: cell A's input is cell B's output and
+	// vice versa.
+	aOut := n.NewNet()
+	bOut := n.NewNet()
+	n.Cells = append(n.Cells,
+		Cell{Kind: INV, Out: aOut, In: []Net{bOut}},
+		Cell{Kind: INV, Out: bOut, In: []Net{aOut}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("combinational loop not detected")
+		}
+	}()
+	n.Levelize()
+}
+
+func TestAddCellArityPanics(t *testing.T) {
+	n := &Netlist{Name: "bad"}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for wrong arity")
+		}
+	}()
+	n.AddCell(AND2, n.NewNet())
+}
+
+func TestVerilogStructure(t *testing.T) {
+	n := &Netlist{Name: "vtest"}
+	a := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
+	q := n.AddCell(DFF, n.AddCell(INV, a))
+	n.Outputs = append(n.Outputs, PortBit{Name: "q", Bit: 0, Net: q})
+	v := n.Verilog()
+	for _, want := range []string{"module vtest(clk, a, q)", "not g", "reg [0:0] r;", "always @(posedge clk)", "endmodule"} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestVerilogTestbench(t *testing.T) {
+	n := &Netlist{Name: "tbt"}
+	a := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
+	n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: 0, Net: n.AddCell(INV, a)})
+	vectors := []map[string]uint64{{"a": 0}, {"a": 1}}
+	expected := []map[string]uint64{{"y": 1}, {"y": 0}}
+	tb := VerilogTestbench(n, vectors, expected, 0)
+	for _, want := range []string{
+		"module tbt_tb;", "tbt dut(.clk(clk), .a(a), .y(y));",
+		"a = 1'd0;", "a = 1'd1;",
+		"if (y !== 1'd1)", "if (y !== 1'd0)",
+		"$display(\"PASS\")", "$finish;",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Fatalf("testbench missing %q:\n%s", want, tb)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched vector lengths")
+		}
+	}()
+	VerilogTestbench(n, vectors, expected[:1], 0)
+}
+
+func TestMultiBitPorts(t *testing.T) {
+	n := &Netlist{Name: "wide"}
+	var bits []Net
+	for i := 0; i < 4; i++ {
+		b := n.NewNet()
+		n.Inputs = append(n.Inputs, PortBit{Name: "x", Bit: i, Net: b})
+		bits = append(bits, b)
+	}
+	for i, b := range bits {
+		n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: i, Net: n.AddCell(INV, b)})
+	}
+	sim := NewSimulator(n)
+	out := sim.Step(map[string]uint64{"x": 0b1010})
+	if out["y"] != 0b0101 {
+		t.Fatalf("y = %#b", out["y"])
+	}
+}

@@ -1,0 +1,365 @@
+// Package sim is a multi-clock-domain, cycle-based hardware simulation
+// kernel. It is this repository's substitute for the SystemC kernel used by
+// the paper's OOHLS flow (DESIGN.md §2).
+//
+// The kernel advances time in picoseconds from clock edge to clock edge.
+// Every clock edge runs five phases, in order:
+//
+//  1. Threads  — coroutine processes bound to the clock resume and run
+//     until they call Thread.Wait (one simulated cycle of work).
+//  2. Drive    — registered drive hooks compute output signals from the
+//     state committed in previous cycles.
+//  3. Resolve  — registered resolvers iterate to a fixpoint, modelling
+//     combinational paths between components (ready/valid coupling,
+//     arbitration) within the cycle.
+//  4. Commit   — registered commit hooks latch state, completing the
+//     register-transfer semantics of the cycle.
+//  5. Monitor  — observation-only hooks (statistics, traces).
+//
+// Threads are Go goroutines synchronized so that exactly one runs at a
+// time, in deterministic registration order; simulations are therefore
+// reproducible. A thread performing several latency-insensitive port
+// operations in one loop iteration pays one Wait per operation in the
+// signal-accurate channel model and one Wait total in the sim-accurate
+// model — the distinction at the heart of the paper's Figure 3.
+//
+// Clocks may be paused or retuned while the simulation runs, which is what
+// the fine-grained GALS substrate (internal/gals) uses to model pausible
+// and adaptive clocking.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is simulated time in picoseconds.
+type Time uint64
+
+// Infinity is a time later than any event.
+const Infinity Time = math.MaxUint64
+
+// Simulator owns clocks, threads, and simulated time.
+type Simulator struct {
+	clocks  []*Clock
+	now     Time
+	stopped bool
+	err     error
+
+	totalEdges uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// TotalEdges returns the number of clock edges processed so far, a proxy
+// for total simulation work across all domains.
+func (s *Simulator) TotalEdges() uint64 { return s.totalEdges }
+
+// Stop requests that the simulation stop after the current edge completes.
+// It is safe to call from threads and hooks.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Simulator) Stopped() bool { return s.stopped }
+
+// Err returns the first error raised by a thread panic, if any.
+func (s *Simulator) Err() error { return s.err }
+
+// Clock is a clock domain. Processes and threads attach to exactly one
+// clock and observe its rising edges.
+type Clock struct {
+	sim    *Simulator
+	name   string
+	period Time
+	next   Time // time of next rising edge
+	cycle  uint64
+
+	pausedUntil Time // if > next, edges are postponed (pausible clocking)
+
+	threads  []*thread
+	drives   []func()
+	resolves []func() bool
+	commits  []func()
+	monitors []func()
+}
+
+// AddClock creates a clock with the given period in picoseconds whose first
+// rising edge occurs at phase ps after time zero.
+func (s *Simulator) AddClock(name string, period, phase Time) *Clock {
+	if period == 0 {
+		panic("sim: zero clock period")
+	}
+	c := &Clock{sim: s, name: name, period: period, next: phase}
+	s.clocks = append(s.clocks, c)
+	return c
+}
+
+// Name returns the clock's name.
+func (c *Clock) Name() string { return c.name }
+
+// Period returns the current period in picoseconds.
+func (c *Clock) Period() Time { return c.period }
+
+// SetPeriod retunes the clock; the change takes effect from the next edge.
+// Adaptive clock generators use this to track supply noise.
+func (c *Clock) SetPeriod(p Time) {
+	if p == 0 {
+		panic("sim: zero clock period")
+	}
+	c.period = p
+}
+
+// Cycle returns the number of rising edges seen so far.
+func (c *Clock) Cycle() uint64 { return c.cycle }
+
+// Pause postpones the clock's next rising edge until at least t. Pausible
+// bisynchronous FIFOs use this to stretch a receiver clock while a
+// synchronization conflict window is open.
+func (c *Clock) Pause(until Time) {
+	if until > c.pausedUntil {
+		c.pausedUntil = until
+	}
+}
+
+// nextEdge returns the effective time of the next rising edge.
+func (c *Clock) nextEdge() Time {
+	if c.pausedUntil > c.next {
+		return c.pausedUntil
+	}
+	return c.next
+}
+
+// AtDrive registers f to run in the drive phase of every edge.
+func (c *Clock) AtDrive(f func()) { c.drives = append(c.drives, f) }
+
+// AtResolve registers f in the combinational resolve phase. f must return
+// true if it changed any visible signal; the kernel iterates all resolvers
+// until a full pass makes no changes.
+func (c *Clock) AtResolve(f func() bool) { c.resolves = append(c.resolves, f) }
+
+// AtCommit registers f to run in the commit (state-latch) phase.
+func (c *Clock) AtCommit(f func()) { c.commits = append(c.commits, f) }
+
+// AtMonitor registers an observation-only hook that runs after commit.
+func (c *Clock) AtMonitor(f func()) { c.monitors = append(c.monitors, f) }
+
+// Thread is the handle a coroutine process uses to synchronize with its
+// clock. All methods must be called only from the goroutine running the
+// thread body.
+type Thread struct {
+	t *thread
+}
+
+type thread struct {
+	name     string
+	clock    *Clock
+	resume   chan struct{}
+	yield    chan struct{}
+	finished bool
+	started  bool
+	body     func(*Thread)
+}
+
+// Spawn registers a coroutine process on clock c. The body starts running
+// at the first rising edge and is resumed once per edge after each Wait.
+// When the body returns the thread retires.
+func (c *Clock) Spawn(name string, body func(*Thread)) {
+	th := &thread{
+		name:   name,
+		clock:  c,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	c.threads = append(c.threads, th)
+}
+
+// Wait suspends the thread until the next rising edge of its clock.
+func (t *Thread) Wait() {
+	t.t.yield <- struct{}{}
+	<-t.t.resume
+}
+
+// WaitN suspends the thread for n rising edges.
+func (t *Thread) WaitN(n int) {
+	for i := 0; i < n; i++ {
+		t.Wait()
+	}
+}
+
+// Clock returns the clock the thread is bound to.
+func (t *Thread) Clock() *Clock { return t.t.clock }
+
+// Cycle returns the current cycle count of the thread's clock.
+func (t *Thread) Cycle() uint64 { return t.t.clock.cycle }
+
+// Sim returns the owning simulator.
+func (t *Thread) Sim() *Simulator { return t.t.clock.sim }
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.t.name }
+
+func (th *thread) start() {
+	th.started = true
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if th.clock.sim.err == nil {
+					th.clock.sim.err = fmt.Errorf("sim: thread %q panicked: %v", th.name, r)
+				}
+				th.clock.sim.stopped = true
+			}
+			th.finished = true
+			th.yield <- struct{}{}
+		}()
+		<-th.resume
+		th.body(&Thread{t: th})
+	}()
+}
+
+// runEdge executes one full rising edge of c.
+func (c *Clock) runEdge() {
+	c.cycle++
+	c.sim.totalEdges++
+
+	// Phase 1: threads, in registration order.
+	for _, th := range c.threads {
+		if th.finished {
+			continue
+		}
+		if !th.started {
+			th.start()
+		}
+		th.resume <- struct{}{}
+		<-th.yield
+	}
+
+	// Phase 2: drive.
+	for _, f := range c.drives {
+		f()
+	}
+
+	// Phase 3: combinational resolve to fixpoint.
+	if len(c.resolves) > 0 {
+		limit := len(c.resolves)*len(c.resolves) + 16
+		for iter := 0; ; iter++ {
+			changed := false
+			for _, f := range c.resolves {
+				if f() {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			if iter > limit {
+				panic(fmt.Sprintf("sim: combinational loop on clock %q did not converge", c.name))
+			}
+		}
+	}
+
+	// Phase 4: commit.
+	for _, f := range c.commits {
+		f()
+	}
+
+	// Phase 5: monitors.
+	for _, f := range c.monitors {
+		f()
+	}
+
+	c.next = c.sim.now + c.period
+	if c.pausedUntil <= c.sim.now {
+		c.pausedUntil = 0
+	}
+}
+
+// Step advances to the next clock edge (or coincident group of edges) and
+// processes it. It returns false when there are no clocks or the simulator
+// has stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.clocks) == 0 {
+		return false
+	}
+	t := Infinity
+	for _, c := range s.clocks {
+		if e := c.nextEdge(); e < t {
+			t = e
+		}
+	}
+	if t == Infinity {
+		return false
+	}
+	s.now = t
+	// Fire all clocks whose edge is due, in stable name order for
+	// reproducibility independent of registration order.
+	due := make([]*Clock, 0, len(s.clocks))
+	for _, c := range s.clocks {
+		if c.nextEdge() == t {
+			due = append(due, c)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].name < due[j].name })
+	for _, c := range due {
+		if s.stopped {
+			break
+		}
+		c.runEdge()
+	}
+	return !s.stopped
+}
+
+// Run advances the simulation until maxTime (exclusive) or Stop.
+func (s *Simulator) Run(maxTime Time) {
+	for !s.stopped {
+		t := Infinity
+		for _, c := range s.clocks {
+			if e := c.nextEdge(); e < t {
+				t = e
+			}
+		}
+		if t >= maxTime {
+			return
+		}
+		if !s.Step() {
+			return
+		}
+	}
+}
+
+// RunCycles runs until clock c has advanced n more rising edges, or Stop.
+func (s *Simulator) RunCycles(c *Clock, n uint64) {
+	target := c.cycle + n
+	for c.cycle < target && s.Step() {
+	}
+}
+
+// Drain retires all threads by resuming them until they finish, bounded by
+// limit edges. It is used by tests to shut a simulation down cleanly; a
+// thread that never returns is simply abandoned when the test ends.
+func (s *Simulator) Drain(limit uint64) {
+	for i := uint64(0); i < limit; i++ {
+		alive := false
+		for _, c := range s.clocks {
+			for _, th := range c.threads {
+				if th.started && !th.finished {
+					alive = true
+				}
+			}
+		}
+		if !alive {
+			return
+		}
+		s.stopped = false
+		if !s.Step() {
+			return
+		}
+	}
+}

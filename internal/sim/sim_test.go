@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSingleClockCycles(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	var ticks int
+	clk.AtCommit(func() { ticks++ })
+	s.RunCycles(clk, 10)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if clk.Cycle() != 10 {
+		t.Fatalf("cycle = %d, want 10", clk.Cycle())
+	}
+	// Time of the 10th edge is 9 periods after the first (phase 0).
+	if s.Now() != 9000 {
+		t.Fatalf("now = %d, want 9000", s.Now())
+	}
+}
+
+func TestPhaseOrdering(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	var order []string
+	clk.Spawn("th", func(th *Thread) {
+		for {
+			order = append(order, "thread")
+			th.Wait()
+		}
+	})
+	clk.AtDrive(func() { order = append(order, "drive") })
+	resolved := false
+	clk.AtResolve(func() bool {
+		order = append(order, "resolve")
+		if !resolved {
+			resolved = true
+			return true // force a second pass
+		}
+		return false
+	})
+	clk.AtCommit(func() { order = append(order, "commit") })
+	clk.AtMonitor(func() { order = append(order, "monitor") })
+	s.RunCycles(clk, 1)
+	want := []string{"thread", "drive", "resolve", "resolve", "commit", "monitor"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestThreadWaitCounting(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 500, 0)
+	var sawCycles []uint64
+	clk.Spawn("counter", func(th *Thread) {
+		for i := 0; i < 5; i++ {
+			sawCycles = append(sawCycles, th.Cycle())
+			th.Wait()
+		}
+	})
+	s.RunCycles(clk, 8)
+	if len(sawCycles) != 5 {
+		t.Fatalf("thread ran %d iterations, want 5", len(sawCycles))
+	}
+	for i, c := range sawCycles {
+		if c != uint64(i+1) {
+			t.Fatalf("iteration %d saw cycle %d, want %d", i, c, i+1)
+		}
+	}
+}
+
+func TestMultiClockRatio(t *testing.T) {
+	s := New()
+	fast := s.AddClock("fast", 1000, 0)
+	slow := s.AddClock("slow", 3000, 0)
+	var fastN, slowN int
+	fast.AtCommit(func() { fastN++ })
+	slow.AtCommit(func() { slowN++ })
+	s.Run(9001) // edges at 0..9000
+	if fastN != 10 {
+		t.Errorf("fast edges = %d, want 10", fastN)
+	}
+	if slowN != 4 {
+		t.Errorf("slow edges = %d, want 4", slowN)
+	}
+}
+
+func TestClockPhase(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 250)
+	var firstEdge Time
+	c.AtCommit(func() {
+		if firstEdge == 0 {
+			firstEdge = s.Now()
+		}
+	})
+	s.RunCycles(c, 1)
+	if firstEdge != 250 {
+		t.Fatalf("first edge at %d, want 250", firstEdge)
+	}
+}
+
+func TestPausePostponesEdge(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	var edges []Time
+	c.AtCommit(func() { edges = append(edges, s.Now()) })
+	s.RunCycles(c, 1) // edge at 0
+	c.Pause(2500)     // next edge would be 1000; pushed to 2500
+	s.RunCycles(c, 2)
+	if len(edges) != 3 || edges[1] != 2500 || edges[2] != 3500 {
+		t.Fatalf("edges = %v, want [0 2500 3500]", edges)
+	}
+}
+
+func TestSetPeriod(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	var edges []Time
+	c.AtCommit(func() {
+		edges = append(edges, s.Now())
+		if len(edges) == 2 {
+			c.SetPeriod(400)
+		}
+	})
+	s.RunCycles(c, 4)
+	// edges: 0, 1000 (then period=400), 1400, 1800
+	want := []Time{0, 1000, 1400, 1800}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestStopFromThread(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	c.Spawn("stopper", func(th *Thread) {
+		th.WaitN(3)
+		th.Sim().Stop()
+		th.Wait()
+	})
+	s.Run(Infinity - 1)
+	if !s.Stopped() {
+		t.Fatal("not stopped")
+	}
+	if c.Cycle() != 4 {
+		t.Fatalf("stopped at cycle %d, want 4", c.Cycle())
+	}
+}
+
+func TestThreadPanicBecomesError(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	c.Spawn("bad", func(th *Thread) {
+		th.Wait()
+		panic("boom")
+	})
+	s.RunCycles(c, 5)
+	if s.Err() == nil {
+		t.Fatal("expected error from panicking thread")
+	}
+}
+
+func TestThreadRetires(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	ran := 0
+	c.Spawn("short", func(th *Thread) {
+		ran++
+	})
+	s.RunCycles(c, 5)
+	if ran != 1 {
+		t.Fatalf("retired thread body ran %d times", ran)
+	}
+}
+
+func TestCombinationalLoopPanics(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	c.AtResolve(func() bool { return true }) // never converges
+	defer func() {
+		if recover() == nil {
+			t.Fatal("combinational loop did not panic")
+		}
+	}()
+	s.RunCycles(c, 1)
+}
+
+func TestCoincidentEdgesDeterministicOrder(t *testing.T) {
+	s := New()
+	// Registration order b, a — but firing order must be name order a, b.
+	b := s.AddClock("b", 1000, 0)
+	a := s.AddClock("a", 1000, 0)
+	var order []string
+	a.AtCommit(func() { order = append(order, "a") })
+	b.AtCommit(func() { order = append(order, "b") })
+	s.RunCycles(a, 1)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+func TestTotalEdges(t *testing.T) {
+	s := New()
+	a := s.AddClock("a", 1000, 0)
+	s.AddClock("b", 2000, 0)
+	s.RunCycles(a, 4) // a: 0,1k,2k,3k ; b: 0,2k
+	if s.TotalEdges() != 6 {
+		t.Fatalf("TotalEdges = %d, want 6", s.TotalEdges())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := New()
+	c := s.AddClock("main", 1250, 0)
+	if c.Name() != "main" || c.Period() != 1250 {
+		t.Fatalf("accessors: %s %d", c.Name(), c.Period())
+	}
+	var thName string
+	var thClk *Clock
+	c.Spawn("worker", func(th *Thread) {
+		thName = th.Name()
+		thClk = th.Clock()
+	})
+	s.RunCycles(c, 1)
+	if thName != "worker" || thClk != c {
+		t.Fatalf("thread accessors: %q %v", thName, thClk)
+	}
+}
+
+func TestSetPeriodRejectsZero(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero period")
+		}
+	}()
+	c.SetPeriod(0)
+}
+
+func TestDrainRetiresThreads(t *testing.T) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	done := false
+	c.Spawn("short", func(th *Thread) {
+		th.WaitN(3)
+		done = true
+	})
+	s.RunCycles(c, 1) // thread started but unfinished
+	s.Drain(100)
+	if !done {
+		t.Fatal("drain did not let the thread finish")
+	}
+	// Draining an already-quiet simulation returns immediately.
+	s.Drain(100)
+}
+
+func BenchmarkThreadSync(b *testing.B) {
+	s := New()
+	c := s.AddClock("c", 1000, 0)
+	for i := 0; i < 8; i++ {
+		c.Spawn("t", func(th *Thread) {
+			for {
+				th.Wait()
+			}
+		})
+	}
+	b.ResetTimer()
+	s.RunCycles(c, uint64(b.N))
+}

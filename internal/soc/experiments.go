@@ -1,0 +1,69 @@
+package soc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/connections"
+)
+
+// Fig6Row is one point of the paper's Figure 6: one SoC-level test run
+// under the sim-accurate SystemC-style model and under RTL cosimulation.
+type Fig6Row struct {
+	Test        string
+	TLMCycles   uint64
+	RTLCycles   uint64
+	TLMWall     time.Duration
+	RTLWall     time.Duration
+	Speedup     float64 // RTL wall / TLM wall
+	CycleErrPct float64 // (RTL-TLM)/RTL elapsed-cycle difference
+}
+
+// RunFig6 executes every SoC test in both modes and measures elapsed
+// cycles and wall-clock time.
+func RunFig6(maxCycles uint64) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, tc := range Tests() {
+		row := Fig6Row{Test: tc.Name}
+
+		run := func(mode connections.Mode) (uint64, time.Duration, error) {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.ShadowNetlists = true // full RTL-cosim cost in RTL mode
+			s, verify := tc.Build(cfg)
+			start := time.Now()
+			cycles, err := s.Run(maxCycles)
+			wall := time.Since(start)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%s/%v: %w", tc.Name, mode, err)
+			}
+			if err := verify(s); err != nil {
+				return 0, 0, err
+			}
+			return cycles, wall, nil
+		}
+		var err error
+		if row.TLMCycles, row.TLMWall, err = run(connections.ModeSimAccurate); err != nil {
+			return nil, err
+		}
+		if row.RTLCycles, row.RTLWall, err = run(connections.ModeRTLCosim); err != nil {
+			return nil, err
+		}
+		row.Speedup = float64(row.RTLWall) / float64(row.TLMWall)
+		row.CycleErrPct = 100 * (float64(row.RTLCycles) - float64(row.TLMCycles)) / float64(row.RTLCycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig6 renders the rows as the paper's figure data.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintf(w, "Figure 6: SoC-level tests, sim-accurate SystemC model vs RTL cosim\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %12s %12s %9s\n",
+		"test", "TLM cycles", "RTL cycles", "err %", "TLM wall", "RTL wall", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12d %12d %9.2f%% %12s %12s %8.1fx\n",
+			r.Test, r.TLMCycles, r.RTLCycles, r.CycleErrPct, r.TLMWall.Round(time.Microsecond), r.RTLWall.Round(time.Microsecond), r.Speedup)
+	}
+}

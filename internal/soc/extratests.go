@@ -1,0 +1,126 @@
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/matchlib/float"
+)
+
+// ExtraTests returns workloads beyond the paper's six Figure 6 tests:
+// a fully-connected (matrix-vector) layer and a distributed IEEE
+// binary16 dot product that drives the MatchLib Float functions through
+// the whole chip. They run under every mode and clocking style like the
+// core six but are kept separate so the Figure 6 experiment matches the
+// paper's test count.
+func ExtraTests() []TestCase {
+	return []TestCase{
+		{Name: "matvec", Build: buildMatVec},
+		{Name: "f16dot", Build: buildF16Dot},
+	}
+}
+
+// matvec: y = W·x with a 32×64 weight matrix; each PE owns two rows and
+// produces two dot products.
+func buildMatVec(cfg Config) (*SoC, func(*SoC) error) {
+	const (
+		rows, cols = 32, 64
+		rowsPerPE  = rows / NumPEs
+		xAt        = 0x8000 // GML address of the input vector
+	)
+	w := randWords(1011, rows*cols, 1<<12)
+	x := randWords(1012, cols, 1<<12)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*rowsPerPE*cols, rowsPerPE*cols, i, 0, NodeRV)) // rows -> @0
+		fw.Send(NodeGML, ReadMsg(xAt, cols, i, 256, NodeRV))                      // x -> @256
+	}
+	fw.WaitDone(2 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		for r := 0; r < rowsPerPE; r++ {
+			fw.Send(i, ExecMsg(KDot, r*cols, 256, 384+r, cols, 0, NodeRV, 0))
+		}
+	}
+	fw.WaitDone(2*NumPEs + NumPEs*rowsPerPE)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(384, rowsPerPE, NodeGMR, i*rowsPerPE, NodeRV))
+	}
+	fw.WaitDone(3*NumPEs + NumPEs*rowsPerPE)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i, v := range w {
+		s.GML.Mem.Write(i, v)
+	}
+	for i, v := range x {
+		s.GML.Mem.Write(xAt+i, v)
+	}
+	verify := func(s *SoC) error {
+		for r := 0; r < rows; r++ {
+			var want int32
+			for c := 0; c < cols; c++ {
+				want += int32(uint32(w[r*cols+c])) * int32(uint32(x[c]))
+			}
+			if got := int32(uint32(s.GMR.Mem.Read(r))); got != want {
+				return fmt.Errorf("matvec: y[%d] = %d, want %d", r, got, want)
+			}
+		}
+		return nil
+	}
+	return s, verify
+}
+
+// f16dot: each PE computes a binary16 dot product over its chunk with
+// the KDotF16 kernel; per-PE partials are verified bit-exactly against
+// the soft-float reference (summation order is per-chunk sequential).
+func buildF16Dot(cfg Config) (*SoC, func(*SoC) error) {
+	const perPE = 16
+	f := float.Binary16
+	// Small finite values: exponents around 1.0 keep sums finite.
+	mk := func(seed int64) []uint64 {
+		raw := randWords(seed, NumPEs*perPE, 1<<10)
+		out := make([]uint64, len(raw))
+		for i, r := range raw {
+			out[i] = (r & 0x03ff) | 0x3400 // [0.25, 0.5) mantissa spread
+		}
+		return out
+	}
+	a := mk(1013)
+	b := mk(1014)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*perPE, perPE, i, 0, NodeRV))
+		fw.Send(NodeGML, ReadMsg(4096+i*perPE, perPE, i, 64, NodeRV))
+	}
+	fw.WaitDone(2 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ExecMsg(KDotF16, 0, 64, 128, perPE, 0, NodeRV, 0))
+	}
+	fw.WaitDone(3 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(128, 1, NodeGMR, i, NodeRV))
+	}
+	fw.WaitDone(4 * NumPEs)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i := range a {
+		s.GML.Mem.Write(i, a[i])
+		s.GML.Mem.Write(4096+i, b[i])
+	}
+	verify := func(s *SoC) error {
+		for i := 0; i < NumPEs; i++ {
+			acc := uint64(0)
+			for k := 0; k < perPE; k++ {
+				acc = f.MulAdd(a[i*perPE+k], b[i*perPE+k], acc)
+			}
+			if got := s.GMR.Mem.Read(i); got != acc {
+				return fmt.Errorf("f16dot: PE %d partial %#x, want %#x (%g vs %g)",
+					i, got, acc, f.ToFloat64(got), f.ToFloat64(acc))
+			}
+		}
+		return nil
+	}
+	return s, verify
+}

@@ -1,0 +1,77 @@
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/riscv"
+)
+
+// Firmware composes controller programs for the SoC tests. The emitted
+// code is genuine RV32I executed instruction-by-instruction by the
+// controller model; orchestration sequences are generated unrolled by
+// the host, the way production firmware for such testchips is.
+type Firmware struct {
+	P      *riscv.Program
+	labels int
+}
+
+// NewFirmware starts a program at address 0 with the MMIO base parked in
+// a saved register.
+func NewFirmware() *Firmware {
+	f := &Firmware{P: riscv.NewProgram(0)}
+	f.P.LUI(riscv.S4, MMIOBase)
+	return f
+}
+
+func (f *Firmware) fresh(prefix string) string {
+	f.labels++
+	return fmt.Sprintf("%s_%d", prefix, f.labels)
+}
+
+// Send emits code injecting a packet with the given constant payload.
+func (f *Firmware) Send(dst int, payload []uint64) {
+	for _, w := range payload {
+		f.P.LI(riscv.T0, uint32(w))
+		f.P.SW(riscv.T0, riscv.S4, 0x00) // NOC_LO
+		f.P.LI(riscv.T0, uint32(w>>32))
+		f.P.SW(riscv.T0, riscv.S4, 0x04)   // NOC_HI
+		f.P.SW(riscv.Zero, riscv.S4, 0x08) // NOC_APPEND
+	}
+	f.P.LI(riscv.T0, uint32(dst))
+	f.P.SW(riscv.T0, riscv.S4, 0x0c) // NOC_SEND
+}
+
+// WaitDone spins until the cumulative done counter reaches target.
+func (f *Firmware) WaitDone(target int) {
+	l := f.fresh("wait")
+	f.P.LI(riscv.T2, uint32(target))
+	f.P.Label(l)
+	f.P.LW(riscv.T0, riscv.S4, 0x10) // DONE_COUNT
+	f.P.BLTU(riscv.T0, riscv.T2, l)
+}
+
+// Exit ends the test with the given code.
+func (f *Firmware) Exit(code uint32) {
+	f.P.LI(riscv.T0, code)
+	f.P.LUI(riscv.T1, RegTestExit)
+	f.P.SW(riscv.T0, riscv.T1, 0)
+}
+
+// SumMailbox emits a real accumulation loop over n 32-bit words starting
+// at RAM word index mailbox, leaving the sum at RAM word index out.
+func (f *Firmware) SumMailbox(mailbox, n, out int) {
+	loop := f.fresh("sum")
+	f.P.LI(riscv.S0, uint32(mailbox*4)) // byte pointer
+	f.P.LI(riscv.S1, uint32((mailbox+n)*4))
+	f.P.LI(riscv.S2, 0) // accumulator
+	f.P.Label(loop)
+	f.P.LW(riscv.T0, riscv.S0, 0)
+	f.P.ADD(riscv.S2, riscv.S2, riscv.T0)
+	f.P.ADDI(riscv.S0, riscv.S0, 4)
+	f.P.BLTU(riscv.S0, riscv.S1, loop)
+	f.P.LI(riscv.T1, uint32(out*4))
+	f.P.SW(riscv.S2, riscv.T1, 0)
+}
+
+// Assemble finalizes the firmware image.
+func (f *Firmware) Assemble() []uint32 { return f.P.Assemble() }

@@ -1,0 +1,144 @@
+// Package soc models the paper's prototype SoC (Figure 5): a 4×4 array
+// of processing elements — each with a scratchpad, a vector datapath, a
+// control unit and a router interface — connected by a wormhole
+// virtual-channel NoC to two banked global-memory partitions, an RV32I
+// control processor, and an I/O partition. The whole design is assembled
+// from MatchLib components over Connections channels and can run
+// single-clock or with fine-grained GALS clocking (one local clock
+// generator per partition, pausible bisynchronous FIFOs on every
+// partition crossing).
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// MsgKind enumerates the SoC's NoC message protocol.
+type MsgKind uint64
+
+// Message kinds.
+const (
+	// MsgWrite carries data words into the destination node's memory.
+	MsgWrite MsgKind = iota + 1
+	// MsgRead asks the destination to DMA a memory range back to a
+	// requester as MsgWrite packets.
+	MsgRead
+	// MsgExec configures and launches a PE kernel.
+	MsgExec
+	// MsgDone notifies a node that a kernel or DMA finished.
+	MsgDone
+)
+
+// KernelOp enumerates PE vector kernels.
+type KernelOp uint64
+
+// PE kernel opcodes.
+const (
+	KVecAdd  KernelOp = iota + 1 // C[i] = A[i] + B[i]
+	KVecMul                      // C[i] = A[i] * B[i]
+	KMac                         // C[i] += A[i] * B[i]
+	KDot                         // C[0] = Σ A[i]*B[i]
+	KReduce                      // C[0] = Σ A[i]
+	KMaxPool                     // C[i] = max(A[i*M .. i*M+M))
+	KDist2                       // C[j] = Σ_d (A[d]-B[j*M+d])², j in 0..N
+	KArgMin                      // C[0] = index of min A[0..N)
+	KConv1D                      // C[i] = Σ_t A[i+t]*B[t], taps M, outputs N
+	KDotF16                      // C[0] = Σ A[i]*B[i] in IEEE binary16
+)
+
+// WriteMsg builds a MsgWrite packet payload: header {kind, addr, notify}
+// then data. When notify is not NoNotify, the RECEIVER sends a MsgDone to
+// that node after the words have landed — completion means delivery, not
+// transmission, which is what makes DMA barriers race-free.
+func WriteMsg(addr int, data []uint64, notify int) []uint64 {
+	p := make([]uint64, 0, len(data)+1)
+	p = append(p, uint64(MsgWrite)|uint64(addr)<<8|uint64(notify)<<40)
+	return append(p, data...)
+}
+
+// ReadMsg builds a MsgRead payload: the destination streams words
+// [addr, addr+n) to replyTo's memory at replyAddr; the final chunk
+// carries the notify field so the RECEIVING node reports completion
+// (node 255 = no notification).
+func ReadMsg(addr, n, replyTo, replyAddr, notify int) []uint64 {
+	return []uint64{
+		uint64(MsgRead) | uint64(addr)<<8,
+		uint64(n) | uint64(replyTo)<<24 | uint64(replyAddr)<<32 | uint64(notify)<<56,
+	}
+}
+
+// ExecMsg builds a MsgExec payload launching kernel op with operand
+// addresses a, b, destination c, length n, parameter m, notifying node
+// notify with MsgDone code when complete.
+func ExecMsg(op KernelOp, a, b, c, n, m, notify, code int) []uint64 {
+	return []uint64{
+		uint64(MsgExec) | uint64(op)<<8,
+		uint64(a) | uint64(b)<<16 | uint64(c)<<32,
+		uint64(n) | uint64(m)<<24 | uint64(notify)<<48 | uint64(code)<<56,
+	}
+}
+
+// DoneMsg builds a MsgDone payload.
+func DoneMsg(code int) []uint64 {
+	return []uint64{uint64(MsgDone) | uint64(code)<<8}
+}
+
+// decoded is a parsed message.
+type decoded struct {
+	kind MsgKind
+	addr int
+	data []uint64
+
+	// MsgRead fields.
+	n         int
+	replyTo   int
+	replyAddr int
+	notify    int
+
+	// MsgExec fields.
+	op      KernelOp
+	a, b, c int
+	m       int
+	code    int
+}
+
+func decode(p noc.Packet) decoded {
+	if len(p.Payload) == 0 {
+		panic("soc: empty packet payload")
+	}
+	h := p.Payload[0]
+	d := decoded{kind: MsgKind(h & 0xff)}
+	switch d.kind {
+	case MsgWrite:
+		d.addr = int(h >> 8 & 0xffffffff)
+		d.notify = int(h >> 40 & 0xff)
+		d.data = p.Payload[1:]
+	case MsgRead:
+		d.addr = int(h >> 8)
+		w := p.Payload[1]
+		d.n = int(w & 0xffffff)
+		d.replyTo = int(w >> 24 & 0xff)
+		d.replyAddr = int(w >> 32 & 0xffffff)
+		d.notify = int(w >> 56 & 0xff)
+	case MsgExec:
+		d.op = KernelOp(h >> 8 & 0xff)
+		w1, w2 := p.Payload[1], p.Payload[2]
+		d.a = int(w1 & 0xffff)
+		d.b = int(w1 >> 16 & 0xffff)
+		d.c = int(w1 >> 32 & 0xffff)
+		d.n = int(w2 & 0xffffff)
+		d.m = int(w2 >> 24 & 0xffffff)
+		d.notify = int(w2 >> 48 & 0xff)
+		d.code = int(w2 >> 56 & 0xff)
+	case MsgDone:
+		d.code = int(h >> 8 & 0xff)
+	default:
+		panic(fmt.Sprintf("soc: unknown message kind %d", d.kind))
+	}
+	return d
+}
+
+// NoNotify marks a DMA or kernel with no completion notification.
+const NoNotify = 255

@@ -1,0 +1,307 @@
+package soc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TestCase is one SoC-level test: it builds the chip with preloaded data
+// and firmware, and verifies architectural state after the firmware
+// exits. These six tests are the workload set behind the paper's
+// Figure 6 comparison.
+type TestCase struct {
+	Name  string
+	Build func(cfg Config) (*SoC, func(*SoC) error)
+}
+
+const (
+	peTile   = 32     // words per PE tile in the streaming tests
+	mailbox  = 0x2000 // RV RAM word index of the DMA mailbox
+	resultAt = 0x2fff // RV RAM word index of the scalar result
+)
+
+// Tests returns the six SoC-level tests.
+func Tests() []TestCase {
+	return []TestCase{
+		{Name: "memcpy", Build: buildMemcpy},
+		{Name: "vecadd", Build: buildVecAdd},
+		{Name: "dot", Build: buildDot},
+		{Name: "conv1d", Build: buildConv1D},
+		{Name: "kmeans", Build: buildKMeans},
+		{Name: "maxpool", Build: buildMaxPool},
+	}
+}
+
+func randWords(seed int64, n int, mod int64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = uint64(uint32(r.Int63n(mod)))
+	}
+	return w
+}
+
+// memcpy: GML → 16 PE scratchpads → GMR, orchestrated entirely by DMA.
+func buildMemcpy(cfg Config) (*SoC, func(*SoC) error) {
+	n := NumPEs * peTile
+	data := randWords(1001, n, 1<<31)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*peTile, peTile, i, 0, NodeRV))
+	}
+	fw.WaitDone(NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(0, peTile, NodeGMR, i*peTile, NodeRV))
+	}
+	fw.WaitDone(2 * NumPEs)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i, w := range data {
+		s.GML.Mem.Write(i, w)
+	}
+	verify := func(s *SoC) error {
+		for i, w := range data {
+			if got := s.GMR.Mem.Read(i); got != w {
+				return fmt.Errorf("memcpy: GMR[%d] = %d, want %d", i, got, w)
+			}
+		}
+		return nil
+	}
+	return s, verify
+}
+
+// vecadd: C = A + B tiled across the 16 PEs.
+func buildVecAdd(cfg Config) (*SoC, func(*SoC) error) {
+	n := NumPEs * peTile
+	a := randWords(1002, n, 1<<20)
+	b := randWords(1003, n, 1<<20)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*peTile, peTile, i, 0, NodeRV))        // A tile -> scratch@0
+		fw.Send(NodeGML, ReadMsg(n+i*peTile, peTile, i, peTile, NodeRV)) // B tile -> scratch@32
+	}
+	fw.WaitDone(2 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ExecMsg(KVecAdd, 0, peTile, 2*peTile, peTile, 0, NodeRV, 0))
+	}
+	fw.WaitDone(3 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(2*peTile, peTile, NodeGMR, i*peTile, NodeRV))
+	}
+	fw.WaitDone(4 * NumPEs)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i := 0; i < n; i++ {
+		s.GML.Mem.Write(i, a[i])
+		s.GML.Mem.Write(n+i, b[i])
+	}
+	verify := func(s *SoC) error {
+		for i := 0; i < n; i++ {
+			want := uint64(uint32(int32(uint32(a[i])) + int32(uint32(b[i]))))
+			if got := s.GMR.Mem.Read(i); got != want {
+				return fmt.Errorf("vecadd: GMR[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	}
+	return s, verify
+}
+
+// dot: distributed dot product; PEs compute partials, the controller
+// gathers them into its mailbox and accumulates with a real RV32I loop.
+func buildDot(cfg Config) (*SoC, func(*SoC) error) {
+	n := NumPEs * peTile
+	a := randWords(1004, n, 1<<15)
+	b := randWords(1005, n, 1<<15)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*peTile, peTile, i, 0, NodeRV))
+		fw.Send(NodeGML, ReadMsg(n+i*peTile, peTile, i, peTile, NodeRV))
+	}
+	fw.WaitDone(2 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ExecMsg(KDot, 0, peTile, 2*peTile, peTile, 0, NodeRV, 0))
+	}
+	fw.WaitDone(3 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(2*peTile, 1, NodeRV, mailbox+i, NodeRV))
+	}
+	fw.WaitDone(4 * NumPEs)
+	fw.SumMailbox(mailbox, NumPEs, resultAt)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i := 0; i < n; i++ {
+		s.GML.Mem.Write(i, a[i])
+		s.GML.Mem.Write(n+i, b[i])
+	}
+	verify := func(s *SoC) error {
+		var want int32
+		for i := 0; i < n; i++ {
+			want += int32(uint32(a[i])) * int32(uint32(b[i]))
+		}
+		if got := int32(s.RV.RAM[resultAt]); got != want {
+			return fmt.Errorf("dot: result %d, want %d", got, want)
+		}
+		return nil
+	}
+	return s, verify
+}
+
+// conv1d: an 8-tap FIR over a 512-sample signal, one output tile per PE,
+// with halo overlap in the input tiles.
+func buildConv1D(cfg Config) (*SoC, func(*SoC) error) {
+	const taps = 8
+	n := NumPEs * peTile
+	signal := randWords(1006, n+taps-1, 1<<12)
+	coef := randWords(1007, taps, 1<<10)
+	const coefAt = 0x4000 // GML address of the coefficients
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*peTile, peTile+taps-1, i, 0, NodeRV)) // tile + halo
+		fw.Send(NodeGML, ReadMsg(coefAt, taps, i, 64, NodeRV))
+	}
+	fw.WaitDone(2 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ExecMsg(KConv1D, 0, 64, 128, peTile, taps, NodeRV, 0))
+	}
+	fw.WaitDone(3 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(128, peTile, NodeGMR, i*peTile, NodeRV))
+	}
+	fw.WaitDone(4 * NumPEs)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i, w := range signal {
+		s.GML.Mem.Write(i, w)
+	}
+	for i, w := range coef {
+		s.GML.Mem.Write(coefAt+i, w)
+	}
+	verify := func(s *SoC) error {
+		for i := 0; i < n; i++ {
+			var want int32
+			for t := 0; t < taps; t++ {
+				want += int32(uint32(signal[i+t])) * int32(uint32(coef[t]))
+			}
+			if got := int32(uint32(s.GMR.Mem.Read(i))); got != want {
+				return fmt.Errorf("conv1d: GMR[%d] = %d, want %d", i, got, want)
+			}
+		}
+		return nil
+	}
+	return s, verify
+}
+
+// kmeans: the assignment step — each PE computes squared distances from
+// its points to the shared centroids and arg-mins the label.
+func buildKMeans(cfg Config) (*SoC, func(*SoC) error) {
+	const (
+		dims       = 8
+		k          = 4
+		perPE      = 2
+		centroidAt = 0x4000
+	)
+	nPts := NumPEs * perPE
+	pts := randWords(1008, nPts*dims, 1000)
+	cents := randWords(1009, k*dims, 1000)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*perPE*dims, perPE*dims, i, 0, NodeRV)) // points -> @0
+		fw.Send(NodeGML, ReadMsg(centroidAt, k*dims, i, 64, NodeRV))      // centroids -> @64
+	}
+	fw.WaitDone(2 * NumPEs)
+	execs := 0
+	for i := 0; i < NumPEs; i++ {
+		for p := 0; p < perPE; p++ {
+			fw.Send(i, ExecMsg(KDist2, p*dims, 64, 128, k, dims, NodeRV, 0))
+			fw.Send(i, ExecMsg(KArgMin, 128, 0, 160+p, k, 0, NodeRV, 0))
+			execs += 2
+		}
+	}
+	fw.WaitDone(2*NumPEs + execs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(160, perPE, NodeGMR, i*perPE, NodeRV))
+	}
+	fw.WaitDone(3*NumPEs + execs)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i, w := range pts {
+		s.GML.Mem.Write(i, w)
+	}
+	for i, w := range cents {
+		s.GML.Mem.Write(centroidAt+i, w)
+	}
+	verify := func(s *SoC) error {
+		for p := 0; p < nPts; p++ {
+			best, bestD := 0, int64(1)<<62
+			for j := 0; j < k; j++ {
+				var d int64
+				for t := 0; t < dims; t++ {
+					diff := int64(int32(uint32(pts[p*dims+t]))) - int64(int32(uint32(cents[j*dims+t])))
+					d += diff * diff
+				}
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if got := int(int32(uint32(s.GMR.Mem.Read(p)))); got != best {
+				return fmt.Errorf("kmeans: point %d assigned %d, want %d", p, got, best)
+			}
+		}
+		return nil
+	}
+	return s, verify
+}
+
+// maxpool: window-4 max pooling over a 2048-sample signal.
+func buildMaxPool(cfg Config) (*SoC, func(*SoC) error) {
+	const win = 4
+	inTile := peTile * win // 128 input words per PE
+	n := NumPEs * inTile
+	data := randWords(1010, n, 1<<30)
+
+	fw := NewFirmware()
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(NodeGML, ReadMsg(i*inTile, inTile, i, 0, NodeRV))
+	}
+	fw.WaitDone(NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ExecMsg(KMaxPool, 0, 0, 256, peTile, win, NodeRV, 0))
+	}
+	fw.WaitDone(2 * NumPEs)
+	for i := 0; i < NumPEs; i++ {
+		fw.Send(i, ReadMsg(256, peTile, NodeGMR, i*peTile, NodeRV))
+	}
+	fw.WaitDone(3 * NumPEs)
+	fw.Exit(0)
+
+	s := New(cfg, fw.Assemble())
+	for i, w := range data {
+		s.GML.Mem.Write(i, w)
+	}
+	verify := func(s *SoC) error {
+		for o := 0; o < NumPEs*peTile; o++ {
+			want := int32(uint32(data[o*win]))
+			for t := 1; t < win; t++ {
+				if v := int32(uint32(data[o*win+t])); v > want {
+					want = v
+				}
+			}
+			if got := int32(uint32(s.GMR.Mem.Read(o))); got != want {
+				return fmt.Errorf("maxpool: GMR[%d] = %d, want %d", o, got, want)
+			}
+		}
+		return nil
+	}
+	return s, verify
+}

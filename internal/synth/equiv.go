@@ -1,0 +1,61 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/hls"
+	"repro/internal/rtl"
+)
+
+// ProveEquivalence exhaustively enumerates every input combination of a
+// design (up to maxBits total input bits) and checks the mapped netlist
+// against the golden interpreter on all of them. For small blocks this
+// is complete formal equivalence — the check the paper notes commercial
+// flows lacked for C-to-RTL — and the flow's tests run it on every
+// bundled design that fits. It returns the number of vectors proven.
+func ProveEquivalence(d *hls.Design, latency int, nl *rtl.Netlist, maxBits int) (int, error) {
+	total := 0
+	for _, p := range d.Inputs {
+		total += p.Width
+	}
+	if total > maxBits {
+		return 0, fmt.Errorf("synth: %s has %d input bits, over the %d-bit exhaustive limit", d.Name, total, maxBits)
+	}
+	sim := rtl.NewSimulator(nl)
+	space := uint64(1) << uint(total)
+
+	assign := func(v uint64) map[string]uint64 {
+		in := map[string]uint64{}
+		for _, p := range d.Inputs {
+			in[p.Name] = v & (1<<uint(p.Width) - 1)
+			v >>= uint(p.Width)
+		}
+		return in
+	}
+
+	// Stream the whole space through the pipeline, checking each output
+	// against the golden result of the vector issued `latency` cycles
+	// earlier.
+	proven := 0
+	for k := uint64(0); k < space+uint64(latency); k++ {
+		var in map[string]uint64
+		if k < space {
+			in = assign(k)
+		} else {
+			in = assign(0) // flush the pipeline
+		}
+		got := sim.Step(in)
+		if k < uint64(latency) {
+			continue
+		}
+		want := d.Interpret(assign(k - uint64(latency)))
+		for name, w := range want {
+			if got[name] != w {
+				return proven, fmt.Errorf("synth: %s NOT equivalent: input %#x output %s = %#x, want %#x",
+					d.Name, k-uint64(latency), name, got[name], w)
+			}
+		}
+		proven++
+	}
+	return proven, nil
+}

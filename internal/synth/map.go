@@ -1,0 +1,233 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/hls"
+	"repro/internal/rtl"
+)
+
+// Map bit-blasts a scheduled design into a gate-level netlist: word
+// operations become gate networks, and every value crossing a pipeline
+// stage boundary gets a flop per bit per boundary.
+func Map(s *hls.Schedule) *rtl.Netlist {
+	m := &mapper{
+		n:    &rtl.Netlist{Name: s.Design.Name},
+		bits: make([][]rtl.Net, len(s.Design.Ops)),
+	}
+	m.tie0 = m.n.AddCell(rtl.TIE0)
+	m.tie1 = m.n.AddCell(rtl.TIE1)
+
+	// regd[i][k] caches op i's value registered to stage k.
+	regd := make([]map[int][]rtl.Net, len(s.Design.Ops))
+
+	// argBits fetches op a's bits as seen at consumer stage.
+	argBits := func(a *hls.Op, stage int) []rtl.Net {
+		if stage == a.Stage {
+			return m.bits[a.ID]
+		}
+		if stage < a.Stage {
+			panic(fmt.Sprintf("synth: op consumed before produced (%d@%d by stage %d)", a.ID, a.Stage, stage))
+		}
+		if regd[a.ID] == nil {
+			regd[a.ID] = map[int][]rtl.Net{}
+		}
+		if got, ok := regd[a.ID][stage]; ok {
+			return got
+		}
+		// Chain registers stage by stage.
+		prev := m.bits[a.ID]
+		for k := a.Stage + 1; k <= stage; k++ {
+			if got, ok := regd[a.ID][k]; ok {
+				prev = got
+				continue
+			}
+			cur := make([]rtl.Net, len(prev))
+			for i, b := range prev {
+				cur[i] = m.n.AddCell(rtl.DFF, b)
+			}
+			regd[a.ID][k] = cur
+			prev = cur
+		}
+		return prev
+	}
+
+	for _, op := range s.Design.Ops {
+		args := make([][]rtl.Net, len(op.Args))
+		for i, a := range op.Args {
+			args[i] = argBits(a, op.Stage)
+		}
+		m.bits[op.ID] = m.mapOp(op, args)
+	}
+	return m.n
+}
+
+type mapper struct {
+	n          *rtl.Netlist
+	bits       [][]rtl.Net
+	tie0, tie1 rtl.Net
+}
+
+func (m *mapper) constBits(v uint64, w int) []rtl.Net {
+	out := make([]rtl.Net, w)
+	for i := 0; i < w; i++ {
+		if v>>uint(i)&1 == 1 {
+			out[i] = m.tie1
+		} else {
+			out[i] = m.tie0
+		}
+	}
+	return out
+}
+
+// fullAdder returns (sum, carry) of a+b+cin using 5 cells.
+func (m *mapper) fullAdder(a, b, cin rtl.Net) (sum, cout rtl.Net) {
+	axb := m.n.AddCell(rtl.XOR2, a, b)
+	sum = m.n.AddCell(rtl.XOR2, axb, cin)
+	ab := m.n.AddCell(rtl.AND2, a, b)
+	c2 := m.n.AddCell(rtl.AND2, axb, cin)
+	cout = m.n.AddCell(rtl.OR2, ab, c2)
+	return
+}
+
+// rippleAdd returns a+b+cin truncated to len(a) bits.
+func (m *mapper) rippleAdd(a, b []rtl.Net, cin rtl.Net) []rtl.Net {
+	out := make([]rtl.Net, len(a))
+	c := cin
+	for i := range a {
+		out[i], c = m.fullAdder(a[i], b[i], c)
+	}
+	return out
+}
+
+func (m *mapper) mapOp(op *hls.Op, args [][]rtl.Net) []rtl.Net {
+	w := op.Width
+	switch op.Kind {
+	case hls.OpInput:
+		out := make([]rtl.Net, w)
+		for i := range out {
+			out[i] = m.n.NewNet()
+			m.n.Inputs = append(m.n.Inputs, rtl.PortBit{Name: op.Name, Bit: i, Net: out[i]})
+		}
+		return out
+	case hls.OpOutput:
+		for i, b := range args[0] {
+			m.n.Outputs = append(m.n.Outputs, rtl.PortBit{Name: op.Name, Bit: i, Net: b})
+		}
+		return args[0]
+	case hls.OpConst:
+		return m.constBits(op.Value, w)
+	case hls.OpAdd:
+		return m.rippleAdd(args[0], args[1], m.tie0)
+	case hls.OpSub:
+		nb := make([]rtl.Net, w)
+		for i, b := range args[1] {
+			nb[i] = m.n.AddCell(rtl.INV, b)
+		}
+		return m.rippleAdd(args[0], nb, m.tie1)
+	case hls.OpMul:
+		// Shift-add array multiplier truncated to w bits.
+		acc := m.constBits(0, w)
+		for i := 0; i < w; i++ {
+			pp := make([]rtl.Net, w)
+			for j := range pp {
+				if j < i {
+					pp[j] = m.tie0
+				} else {
+					pp[j] = m.n.AddCell(rtl.AND2, args[0][i], args[1][j-i])
+				}
+			}
+			acc = m.rippleAdd(acc, pp, m.tie0)
+		}
+		return acc
+	case hls.OpAnd, hls.OpOr, hls.OpXor:
+		kind := map[hls.OpKind]rtl.CellKind{hls.OpAnd: rtl.AND2, hls.OpOr: rtl.OR2, hls.OpXor: rtl.XOR2}[op.Kind]
+		out := make([]rtl.Net, w)
+		for i := range out {
+			out[i] = m.n.AddCell(kind, args[0][i], args[1][i])
+		}
+		return out
+	case hls.OpNot:
+		out := make([]rtl.Net, w)
+		for i := range out {
+			out[i] = m.n.AddCell(rtl.INV, args[0][i])
+		}
+		return out
+	case hls.OpShlC:
+		out := make([]rtl.Net, w)
+		for i := range out {
+			if i-op.Amount >= 0 && i-op.Amount < len(args[0]) {
+				out[i] = args[0][i-op.Amount]
+			} else {
+				out[i] = m.tie0
+			}
+		}
+		return out
+	case hls.OpShrC:
+		out := make([]rtl.Net, w)
+		for i := range out {
+			if i+op.Amount < len(args[0]) {
+				out[i] = args[0][i+op.Amount]
+			} else {
+				out[i] = m.tie0
+			}
+		}
+		return out
+	case hls.OpEq:
+		// XNOR per bit, AND tree.
+		eqs := make([]rtl.Net, len(args[0]))
+		for i := range eqs {
+			eqs[i] = m.n.AddCell(rtl.XNOR2, args[0][i], args[1][i])
+		}
+		return []rtl.Net{m.andTree(eqs)}
+	case hls.OpLt:
+		// Borrow-ripple comparator: borrow out of a-b.
+		borrow := m.tie0
+		for i := range args[0] {
+			na := m.n.AddCell(rtl.INV, args[0][i])
+			naAndB := m.n.AddCell(rtl.AND2, na, args[1][i])
+			axb := m.n.AddCell(rtl.XNOR2, args[0][i], args[1][i])
+			prop := m.n.AddCell(rtl.AND2, axb, borrow)
+			borrow = m.n.AddCell(rtl.OR2, naAndB, prop)
+		}
+		return []rtl.Net{borrow}
+	case hls.OpMux:
+		out := make([]rtl.Net, w)
+		for i := range out {
+			out[i] = m.n.AddCell(rtl.MUX2, args[0][0], args[1][i], args[2][i])
+		}
+		return out
+	case hls.OpSlice:
+		return args[0][op.Amount : op.Amount+w]
+	case hls.OpZExt:
+		out := make([]rtl.Net, w)
+		copy(out, args[0])
+		for i := len(args[0]); i < w; i++ {
+			out[i] = m.tie0
+		}
+		return out
+	case hls.OpConcat:
+		out := make([]rtl.Net, 0, w)
+		out = append(out, args[0]...)
+		out = append(out, args[1]...)
+		return out
+	default:
+		panic(fmt.Sprintf("synth: cannot map %v", op.Kind))
+	}
+}
+
+// andTree reduces nets with a balanced AND tree.
+func (m *mapper) andTree(ns []rtl.Net) rtl.Net {
+	for len(ns) > 1 {
+		var next []rtl.Net
+		for i := 0; i < len(ns); i += 2 {
+			if i+1 < len(ns) {
+				next = append(next, m.n.AddCell(rtl.AND2, ns[i], ns[i+1]))
+			} else {
+				next = append(next, ns[i])
+			}
+		}
+		ns = next
+	}
+	return ns[0]
+}

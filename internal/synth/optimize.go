@@ -1,0 +1,220 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/rtl"
+)
+
+// Optimize runs gate-level optimizations on a mapped netlist: constant
+// propagation through cells fed by tie cells, structural deduplication of
+// identical cells, and removal of cells that reach no output or flop.
+// It returns a new netlist; the input is unchanged.
+func Optimize(n *rtl.Netlist) *rtl.Netlist {
+	out := &rtl.Netlist{Name: n.Name, NumNets: n.NumNets}
+
+	const (
+		unknown int8 = iota
+		const0
+		const1
+	)
+	// Two extra slots cover the fresh tie nets Optimize may allocate.
+	cv := make([]int8, n.NumNets+2) // constant value per net, if known
+	alias := make([]rtl.Net, n.NumNets+2)
+	for i := range alias {
+		alias[i] = rtl.Net(i)
+	}
+	resolve := func(net rtl.Net) rtl.Net {
+		for alias[net] != net {
+			net = alias[net]
+		}
+		return net
+	}
+
+	var tie0, tie1 rtl.Net = -1, -1
+	getTie := func(v int8) rtl.Net {
+		if v == const0 {
+			if tie0 < 0 {
+				tie0 = out.AddCell(rtl.TIE0)
+				cv[tie0] = const0
+			}
+			return tie0
+		}
+		if tie1 < 0 {
+			tie1 = out.AddCell(rtl.TIE1)
+			cv[tie1] = const1
+		}
+		return tie1
+	}
+
+	dedup := map[string]rtl.Net{}
+
+	for _, c := range n.Levelize() {
+		in := make([]rtl.Net, len(c.In))
+		iv := make([]int8, len(c.In))
+		for i, x := range c.In {
+			in[i] = resolve(x)
+			iv[i] = cv[in[i]]
+		}
+		// Constant folding / simplification per cell kind.
+		setConst := func(v int8) { cv[c.Out] = v; alias[c.Out] = getTie(v) }
+		setAlias := func(src rtl.Net) { alias[c.Out] = src; cv[c.Out] = cv[src] }
+		switch c.Kind {
+		case rtl.TIE0:
+			setConst(const0)
+			continue
+		case rtl.TIE1:
+			setConst(const1)
+			continue
+		case rtl.BUF:
+			setAlias(in[0])
+			continue
+		case rtl.INV:
+			if iv[0] == const0 {
+				setConst(const1)
+				continue
+			}
+			if iv[0] == const1 {
+				setConst(const0)
+				continue
+			}
+		case rtl.AND2, rtl.NAND2:
+			neg := c.Kind == rtl.NAND2
+			if iv[0] == const0 || iv[1] == const0 {
+				setConst(cbool(neg))
+				continue
+			}
+			if iv[0] == const1 && iv[1] == const1 {
+				setConst(cbool(!neg))
+				continue
+			}
+			if !neg && iv[0] == const1 {
+				setAlias(in[1])
+				continue
+			}
+			if !neg && iv[1] == const1 {
+				setAlias(in[0])
+				continue
+			}
+		case rtl.OR2, rtl.NOR2:
+			neg := c.Kind == rtl.NOR2
+			if iv[0] == const1 || iv[1] == const1 {
+				setConst(cbool(!neg))
+				continue
+			}
+			if iv[0] == const0 && iv[1] == const0 {
+				setConst(cbool(neg))
+				continue
+			}
+			if !neg && iv[0] == const0 {
+				setAlias(in[1])
+				continue
+			}
+			if !neg && iv[1] == const0 {
+				setAlias(in[0])
+				continue
+			}
+		case rtl.XOR2, rtl.XNOR2:
+			neg := c.Kind == rtl.XNOR2
+			if iv[0] != unknown && iv[1] != unknown {
+				same := iv[0] == iv[1]
+				setConst(cbool(same == neg))
+				continue
+			}
+			if iv[0] == const0 && !neg {
+				setAlias(in[1])
+				continue
+			}
+			if iv[1] == const0 && !neg {
+				setAlias(in[0])
+				continue
+			}
+		case rtl.MUX2:
+			if iv[0] == const1 {
+				setAlias(in[1])
+				continue
+			}
+			if iv[0] == const0 {
+				setAlias(in[2])
+				continue
+			}
+			if in[1] == in[2] {
+				setAlias(in[1])
+				continue
+			}
+		}
+		// Structural dedup.
+		key := fmt.Sprintf("%d", c.Kind)
+		for _, x := range in {
+			key += fmt.Sprintf(":%d", x)
+		}
+		if prev, ok := dedup[key]; ok {
+			alias[c.Out] = prev
+			cv[c.Out] = cv[prev]
+			continue
+		}
+		out.Cells = append(out.Cells, rtl.Cell{Kind: c.Kind, Out: c.Out, In: in})
+		dedup[key] = c.Out
+	}
+
+	// Flops: rewrite D through aliases. A flop fed by a constant still
+	// settles to that constant after one cycle; keep it for cycle
+	// accuracy (it is also counted by the paper-style gate metrics).
+	for _, d := range n.DFFs {
+		out.DFFs = append(out.DFFs, rtl.Cell{Kind: rtl.DFF, Out: d.Out, In: []rtl.Net{resolve(d.In[0])}})
+	}
+
+	// Ports.
+	for _, p := range n.Inputs {
+		out.Inputs = append(out.Inputs, p)
+	}
+	for _, p := range n.Outputs {
+		out.Outputs = append(out.Outputs, rtl.PortBit{Name: p.Name, Bit: p.Bit, Net: resolve(p.Net)})
+	}
+	// An output aliased to a constant needs a tie cell driver; resolve
+	// already points it at the tie net created above.
+
+	return deadCellRemoval(out)
+}
+
+func cbool(b bool) int8 {
+	if b {
+		return 2 // const1
+	}
+	return 1 // const0
+}
+
+// deadCellRemoval drops cells whose outputs reach no output port and no
+// flop input.
+func deadCellRemoval(n *rtl.Netlist) *rtl.Netlist {
+	driver := map[rtl.Net]int{}
+	for i, c := range n.Cells {
+		driver[c.Out] = i
+	}
+	live := make([]bool, len(n.Cells))
+	var mark func(net rtl.Net)
+	mark = func(net rtl.Net) {
+		i, ok := driver[net]
+		if !ok || live[i] {
+			return
+		}
+		live[i] = true
+		for _, in := range n.Cells[i].In {
+			mark(in)
+		}
+	}
+	for _, p := range n.Outputs {
+		mark(p.Net)
+	}
+	for _, d := range n.DFFs {
+		mark(d.In[0])
+	}
+	out := &rtl.Netlist{Name: n.Name, NumNets: n.NumNets,
+		Inputs: n.Inputs, Outputs: n.Outputs, DFFs: n.DFFs}
+	for i, c := range n.Cells {
+		if live[i] {
+			out.Cells = append(out.Cells, c)
+		}
+	}
+	return out
+}

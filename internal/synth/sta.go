@@ -1,0 +1,81 @@
+package synth
+
+import "repro/internal/rtl"
+
+// Timing is the result of static timing analysis on a mapped netlist.
+type Timing struct {
+	CriticalPS int     // longest register-to-register (or port-to-port) path
+	FmaxMHz    float64 // 1e6 / CriticalPS
+	Levels     int     // logic depth on the critical path, in cells
+}
+
+// STA computes the longest combinational path through the netlist using
+// the library's pin-to-pin delays, adding flop clock-to-Q at path starts,
+// setup at path ends, and a lumped wire allowance per stage.
+func STA(n *rtl.Netlist, lib *TechLib) Timing {
+	arrive := make([]int, n.NumNets) // arrival time per net
+	depth := make([]int, n.NumNets)  // cells traversed
+	isFlopQ := make(map[rtl.Net]bool, len(n.DFFs))
+	for _, d := range n.DFFs {
+		isFlopQ[d.Out] = true
+		arrive[d.Out] = lib.ClkQ
+	}
+	worst, worstDepth := 0, 0
+	for _, c := range n.Levelize() {
+		start := 0
+		dep := 0
+		for _, in := range c.In {
+			if arrive[in] > start {
+				start = arrive[in]
+			}
+			if depth[in] > dep {
+				dep = depth[in]
+			}
+		}
+		arrive[c.Out] = start + lib.Delay[c.Kind]
+		depth[c.Out] = dep + 1
+	}
+	endpoint := func(net rtl.Net, setup int) {
+		t := arrive[net] + setup
+		if t > worst {
+			worst, worstDepth = t, depth[net]
+		}
+	}
+	for _, d := range n.DFFs {
+		endpoint(d.In[0], lib.Setup)
+	}
+	for _, p := range n.Outputs {
+		endpoint(p.Net, 0)
+	}
+	worst += lib.WireDly
+	if worst == lib.WireDly {
+		worst = lib.WireDly + lib.ClkQ // empty netlist: flop-to-flop minimum
+	}
+	return Timing{CriticalPS: worst, FmaxMHz: 1e6 / float64(worst), Levels: worstDepth}
+}
+
+// AreaReport breaks a netlist's area down by cell kind.
+type AreaReport struct {
+	Name       string
+	ByKind     [12]int
+	Comb       float64 // combinational area, NAND2 equivalents
+	Sequential float64 // flop area
+	Total      float64
+	GateCount  int
+}
+
+// Report computes the area report for a netlist.
+func Report(n *rtl.Netlist, lib *TechLib) AreaReport {
+	r := AreaReport{Name: n.Name}
+	for _, c := range n.Cells {
+		r.ByKind[c.Kind]++
+		r.Comb += lib.Area[c.Kind]
+	}
+	for range n.DFFs {
+		r.ByKind[rtl.DFF]++
+		r.Sequential += lib.Area[rtl.DFF]
+	}
+	r.Total = r.Comb + r.Sequential
+	r.GateCount = int(r.Total + 0.5)
+	return r
+}

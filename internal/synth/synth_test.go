@@ -1,0 +1,206 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/hls"
+	"repro/internal/rtl"
+)
+
+func randVec(r *rand.Rand, d *hls.Design) map[string]uint64 {
+	in := map[string]uint64{}
+	for _, p := range d.Inputs {
+		w := uint(p.Width)
+		v := r.Uint64()
+		if w < 64 {
+			v &= 1<<w - 1
+		}
+		in[p.Name] = v
+	}
+	return in
+}
+
+// checkEquivalence streams random vectors through the gate-level netlist
+// and compares each delayed output against the golden interpreter.
+func checkEquivalence(t *testing.T, d *hls.Design, cons hls.Constraints, optimize bool, vectors int, seed int64) *rtl.Netlist {
+	t.Helper()
+	opt := hls.Optimize(d)
+	sched := hls.Pipeline(opt, cons)
+	nl := Map(sched)
+	if optimize {
+		nl = Optimize(nl)
+	}
+	sim := rtl.NewSimulator(nl)
+	r := rand.New(rand.NewSource(seed))
+	var history []map[string]uint64
+	for k := 0; k < vectors+sched.Latency; k++ {
+		in := randVec(r, d)
+		history = append(history, in)
+		got := sim.Step(in)
+		if k < sched.Latency {
+			continue // pipeline not yet full
+		}
+		want := d.Interpret(history[k-sched.Latency])
+		for name, w := range want {
+			if got[name] != w {
+				t.Fatalf("%s (opt=%v latency=%d): vector %d output %s = %#x, want %#x",
+					d.Name, optimize, sched.Latency, k, name, got[name], w)
+			}
+		}
+	}
+	return nl
+}
+
+func allDesigns() []*hls.Design {
+	return []*hls.Design{
+		hls.MACDesign(12),
+		hls.FIRDesign(6, 10),
+		hls.AdderTreeDesign(7, 16),
+		hls.ALUDesign(12),
+		hls.CrossbarSrcLoopDesign(4, 8),
+		hls.CrossbarDstLoopDesign(4, 8),
+		hls.EncoderDesign(8),
+		hls.DecoderDesign(8),
+		hls.PriorityArbiterDesign(10),
+		hls.MaxTreeDesign(6, 14),
+		hls.PopcountDesign(17),
+	}
+}
+
+// The central synthesis property: for every bundled design, the mapped
+// netlist is cycle-accurate-equivalent to the golden model, pipelined and
+// combinational, optimized and raw.
+func TestNetlistEquivalence(t *testing.T) {
+	for _, d := range allDesigns() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			checkEquivalence(t, d, hls.Constraints{ClockPS: 100000, NoPipeline: true}, false, 40, 1)
+			checkEquivalence(t, d, hls.Constraints{ClockPS: 100000, NoPipeline: true}, true, 40, 2)
+			checkEquivalence(t, d, hls.Constraints{ClockPS: 500}, true, 40, 3)
+		})
+	}
+}
+
+func TestPipelinedMulDeepClock(t *testing.T) {
+	// Aggressive clock forces a deep pipeline; equivalence must hold.
+	d := hls.MACDesign(16)
+	checkEquivalence(t, d, hls.Constraints{ClockPS: 250}, true, 60, 4)
+}
+
+func TestOptimizeShrinksNetlist(t *testing.T) {
+	d := hls.Optimize(hls.CrossbarSrcLoopDesign(8, 16))
+	s := hls.Pipeline(d, hls.DefaultConstraints())
+	raw := Map(s)
+	opt := Optimize(raw)
+	rawC, _ := raw.CellCount()
+	optC, _ := opt.CellCount()
+	if optC >= rawC {
+		t.Fatalf("optimize did not shrink: %d -> %d cells", rawC, optC)
+	}
+}
+
+func TestSTAMonotoneInWidth(t *testing.T) {
+	lib := &Default16nm
+	var prev int
+	for _, w := range []int{4, 8, 16, 32} {
+		d := hls.Optimize(hls.AdderTreeDesign(2, w))
+		nl := Optimize(Map(hls.Pipeline(d, hls.Constraints{ClockPS: 100000, NoPipeline: true})))
+		tm := STA(nl, lib)
+		if tm.CriticalPS <= prev {
+			t.Fatalf("width %d critical path %dps not longer than previous %dps", w, tm.CriticalPS, prev)
+		}
+		prev = tm.CriticalPS
+	}
+}
+
+func TestPipeliningImprovesFmax(t *testing.T) {
+	lib := &Default16nm
+	d := hls.Optimize(hls.FIRDesign(8, 16))
+	comb := STA(Optimize(Map(hls.Pipeline(d, hls.Constraints{ClockPS: 100000, NoPipeline: true}))), lib)
+	d2 := hls.Optimize(hls.FIRDesign(8, 16))
+	piped := STA(Optimize(Map(hls.Pipeline(d2, hls.Constraints{ClockPS: 450}))), lib)
+	if piped.CriticalPS >= comb.CriticalPS {
+		t.Fatalf("pipelined critical %dps >= combinational %dps", piped.CriticalPS, comb.CriticalPS)
+	}
+}
+
+// The paper's §2.4 case study at gate level: 32-lane 32-bit crossbar,
+// src-loop vs dst-loop. The penalty should be in the vicinity of the
+// paper's 25%.
+func TestCrossbarQoRPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-lane crossbar mapping is slow")
+	}
+	lib := &Default16nm
+	cons := hls.DefaultConstraints()
+	src := Report(Optimize(Map(hls.Pipeline(hls.Optimize(hls.CrossbarSrcLoopDesign(32, 32)), cons))), lib)
+	dst := Report(Optimize(Map(hls.Pipeline(hls.Optimize(hls.CrossbarDstLoopDesign(32, 32)), cons))), lib)
+	ratio := src.Total / dst.Total
+	t.Logf("src-loop %d gates, dst-loop %d gates, penalty %.1f%%", src.GateCount, dst.GateCount, (ratio-1)*100)
+	if ratio < 1.10 || ratio > 1.60 {
+		t.Fatalf("src/dst gate ratio %.2f outside the expected ~1.25 region", ratio)
+	}
+}
+
+func TestReportBreakdown(t *testing.T) {
+	lib := &Default16nm
+	d := hls.Optimize(hls.MACDesign(8))
+	nl := Optimize(Map(hls.Pipeline(d, hls.Constraints{ClockPS: 400})))
+	r := Report(nl, lib)
+	if r.Sequential == 0 {
+		t.Fatal("pipelined design reports no flop area")
+	}
+	if r.Comb == 0 || r.Total != r.Comb+r.Sequential {
+		t.Fatalf("area breakdown inconsistent: %+v", r)
+	}
+	if r.GateCount < 100 {
+		t.Fatalf("8-bit MAC mapped to only %d gates", r.GateCount)
+	}
+}
+
+func TestVerilogEmission(t *testing.T) {
+	d := hls.Optimize(hls.MACDesign(4))
+	nl := Optimize(Map(hls.Pipeline(d, hls.Constraints{ClockPS: 200})))
+	v := nl.Verilog()
+	for _, want := range []string{"module mac_4", "input clk", "endmodule", "always @(posedge clk)"} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestSimulatorTogglesCounted(t *testing.T) {
+	d := hls.Optimize(hls.AdderTreeDesign(4, 8))
+	nl := Optimize(Map(hls.Pipeline(d, hls.Constraints{ClockPS: 100000, NoPipeline: true})))
+	sim := rtl.NewSimulator(nl)
+	r := rand.New(rand.NewSource(5))
+	for k := 0; k < 20; k++ {
+		sim.Step(randVec(r, d))
+	}
+	if sim.Toggles == 0 {
+		t.Fatal("no toggles recorded under random stimulus")
+	}
+}
+
+func BenchmarkMapCrossbarDst16(b *testing.B) {
+	d := hls.Optimize(hls.CrossbarDstLoopDesign(16, 32))
+	s := hls.Pipeline(d, hls.DefaultConstraints())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Map(s)
+	}
+}
+
+func BenchmarkNetlistSimFIR(b *testing.B) {
+	d := hls.Optimize(hls.FIRDesign(8, 16))
+	nl := Optimize(Map(hls.Pipeline(d, hls.DefaultConstraints())))
+	sim := rtl.NewSimulator(nl)
+	r := rand.New(rand.NewSource(6))
+	in := randVec(r, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step(in)
+	}
+}

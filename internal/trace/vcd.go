@@ -1,0 +1,138 @@
+// Package trace writes Value Change Dump (VCD) waveforms — this
+// repository's stand-in for the FSDB signal traces the paper's flow
+// feeds into power analysis (Figure 1). Any clocked model can register
+// signals and sample them per cycle; the rtl netlist simulator and the
+// flowrun command attach it to mapped designs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// VCD accumulates signal declarations and change events.
+type VCD struct {
+	w          io.Writer
+	signals    []*Signal
+	headerDone bool
+	curTime    uint64
+	timeOpen   bool
+	err        error
+}
+
+// Signal is one traced wire or bus.
+type Signal struct {
+	name  string
+	width int
+	id    string
+	cur   uint64
+	valid bool // has been set at least once
+	dirty bool
+}
+
+// NewVCD starts a dump with a 1ps timescale.
+func NewVCD(w io.Writer) *VCD { return &VCD{w: w} }
+
+// Declare registers a signal before the first Sample. Declaring after
+// the header is written panics.
+func (v *VCD) Declare(name string, width int) *Signal {
+	if v.headerDone {
+		panic("trace: Declare after first Sample")
+	}
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("trace: signal %s width %d", name, width))
+	}
+	s := &Signal{name: name, width: width, id: idCode(len(v.signals))}
+	v.signals = append(v.signals, s)
+	return s
+}
+
+// Set updates a signal's value; the change is emitted at the next Sample.
+func (s *Signal) Set(val uint64) {
+	if s.width < 64 {
+		val &= 1<<uint(s.width) - 1
+	}
+	if !s.valid || val != s.cur {
+		s.cur = val
+		s.dirty = true
+		s.valid = true
+	}
+}
+
+// Sample emits all pending changes at time t (monotonically increasing).
+func (v *VCD) Sample(t uint64) {
+	if v.err != nil {
+		return
+	}
+	if !v.headerDone {
+		v.writeHeader()
+	}
+	for _, s := range v.signals {
+		if !s.dirty {
+			continue
+		}
+		if !v.timeOpen || t != v.curTime {
+			v.printf("#%d\n", t)
+			v.curTime, v.timeOpen = t, true
+		}
+		if s.width == 1 {
+			v.printf("%d%s\n", s.cur&1, s.id)
+		} else {
+			v.printf("b%s %s\n", bin(s.cur, s.width), s.id)
+		}
+		s.dirty = false
+	}
+}
+
+// Err returns the first write error, if any.
+func (v *VCD) Err() error { return v.err }
+
+func (v *VCD) writeHeader() {
+	v.printf("$timescale 1ps $end\n$scope module top $end\n")
+	sigs := append([]*Signal(nil), v.signals...)
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].name < sigs[j].name })
+	for _, s := range sigs {
+		if s.width == 1 {
+			v.printf("$var wire 1 %s %s $end\n", s.id, s.name)
+		} else {
+			v.printf("$var wire %d %s %s [%d:0] $end\n", s.width, s.id, s.name, s.width-1)
+		}
+	}
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+	v.headerDone = true
+}
+
+func (v *VCD) printf(format string, args ...any) {
+	if v.err != nil {
+		return
+	}
+	_, v.err = fmt.Fprintf(v.w, format, args...)
+}
+
+// idCode maps a signal index to a VCD identifier (printable, compact).
+func idCode(i int) string {
+	const base = 94 // '!' .. '~'
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte('!' + i%base))
+		i /= base
+		if i == 0 {
+			return sb.String()
+		}
+		i--
+	}
+}
+
+func bin(v uint64, w int) string {
+	b := make([]byte, w)
+	for i := 0; i < w; i++ {
+		if v>>uint(w-1-i)&1 == 1 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

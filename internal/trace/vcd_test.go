@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDBasicDump(t *testing.T) {
+	var sb strings.Builder
+	v := NewVCD(&sb)
+	a := v.Declare("a", 1)
+	d := v.Declare("data", 8)
+	a.Set(1)
+	d.Set(0xa5)
+	v.Sample(0)
+	a.Set(0)
+	v.Sample(3)
+	d.Set(0xa5) // unchanged: no event
+	v.Sample(4)
+	if err := v.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := []string{
+		"$timescale 1ps $end",
+		"$var wire 1 ! a $end",
+		"$var wire 8 \" data [7:0] $end",
+		"$enddefinitions $end",
+		"#0\n", "1!", "b10100101 \"",
+		"#3\n", "0!",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("missing %q in:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "#4") {
+		t.Fatalf("emitted empty timestep:\n%s", out)
+	}
+}
+
+func TestVCDNoRedundantEvents(t *testing.T) {
+	var sb strings.Builder
+	v := NewVCD(&sb)
+	s := v.Declare("x", 4)
+	for i := 0; i < 10; i++ {
+		s.Set(7)
+		v.Sample(uint64(i))
+	}
+	out := sb.String()
+	if got := strings.Count(out, "b0111"); got != 1 {
+		t.Fatalf("value emitted %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestVCDDeclareAfterSamplePanics(t *testing.T) {
+	var sb strings.Builder
+	v := NewVCD(&sb)
+	v.Declare("a", 1).Set(1)
+	v.Sample(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	v.Declare("b", 1)
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, c := range []byte(id) {
+			if c < '!' || c > '~' {
+				t.Fatalf("unprintable id byte %d", c)
+			}
+		}
+	}
+}
+
+func TestBinRendering(t *testing.T) {
+	if got := bin(0b101, 5); got != "00101" {
+		t.Fatalf("bin = %q", got)
+	}
+}

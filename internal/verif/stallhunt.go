@@ -1,0 +1,129 @@
+package verif
+
+import (
+	"fmt"
+
+	"repro/internal/connections"
+	"repro/internal/matchlib"
+	"repro/internal/sim"
+)
+
+// This file is the paper's stall-injection demonstration (§2.3): a merge
+// unit carries a seeded corner-case bug — when both inputs deliver in the
+// same cycle while its queue has exactly one free slot, it drops the
+// second item. Under nominal timing the testbench's producers alternate,
+// so the corner never occurs and directed simulation passes; with random
+// stalls injected into the channels (no design or testbench changes),
+// deliveries collide and the bug is caught by the scoreboard.
+
+// StallHuntResult summarizes one run of the experiment.
+type StallHuntResult struct {
+	Errors        []string // scoreboard findings (non-empty = bug exposed)
+	TimingStates  int      // distinct (validA, validB, occupancy) states covered
+	CornerCovered bool     // the buggy corner state was reached
+	Delivered     int
+}
+
+// RunStallHunt runs the seeded-bug testbench. pStall = 0 reproduces
+// nominal timing; pStall > 0 enables the paper's stall injection.
+func RunStallHunt(pStall float64, seed int64, messages int) StallHuntResult {
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	cov := NewCoverage()
+	sb := NewScoreboard()
+
+	var opts []connections.Option
+	if pStall > 0 {
+		opts = append(opts, connections.WithStall(pStall, pStall, seed))
+	}
+
+	aOut, aIn := connections.NewOut[int](), connections.NewIn[int]()
+	bOut, bIn := connections.NewOut[int](), connections.NewIn[int]()
+	mOut, mIn := connections.NewOut[int](), connections.NewIn[int]()
+	connections.Buffer(clk, "a", 2, aOut, aIn, opts...)
+	connections.Buffer(clk, "b", 2, bOut, bIn, opts...)
+	connections.Buffer(clk, "m", 2, mOut, mIn, opts...)
+
+	// Alternating producers: under nominal timing A and B never deliver
+	// in the same cycle.
+	clk.Spawn("prodA", func(th *sim.Thread) {
+		for i := 0; i < messages; i++ {
+			aOut.Push(th, i)
+			sb.Expect("a", uint64(i))
+			th.WaitN(2)
+		}
+	})
+	clk.Spawn("prodB", func(th *sim.Thread) {
+		th.Wait() // offset by one cycle
+		for i := 0; i < messages; i++ {
+			bOut.Push(th, 1_000_000+i)
+			sb.Expect("b", uint64(1_000_000+i))
+			th.WaitN(2)
+		}
+	})
+
+	// The DUT: merge with the seeded queue-full corner bug. Under
+	// nominal timing the queue hovers near empty and the inputs never
+	// collide; only stalled output plus bunched inputs reach the corner.
+	const qcap = 4
+	q := matchlib.NewFIFO[int](qcap)
+	clk.Spawn("merge", func(th *sim.Thread) {
+		for {
+			av, aok := aIn.Peek()
+			bv, bok := bIn.Peek()
+			cov.Hit(fmt.Sprintf("a%v_b%v_q%d", aok, bok, q.Len()))
+			if aok && bok && q.Len() == qcap-1 {
+				cov.Hit("corner")
+			}
+			if q.Len() < qcap {
+				if aok && bok {
+					// BUG: one occupancy check for two enqueues — the
+					// second item is dropped when only one slot is free.
+					aIn.PopNB(th)
+					bIn.PopNB(th)
+					q.Push(av)
+					if q.Len() < qcap {
+						q.Push(bv)
+					} // else bv silently lost
+				} else if aok {
+					aIn.PopNB(th)
+					q.Push(av)
+				} else if bok {
+					bIn.PopNB(th)
+					q.Push(bv)
+				}
+			}
+			if !q.Empty() && mOut.PushNB(th, q.Peek()) {
+				q.Pop()
+			}
+			th.Wait()
+		}
+	})
+
+	delivered := 0
+	clk.Spawn("checker", func(th *sim.Thread) {
+		idle := 0
+		for {
+			if v, ok := mIn.PopNB(th); ok {
+				idle = 0
+				delivered++
+				if v >= 1_000_000 {
+					sb.Observe("b", uint64(v))
+				} else {
+					sb.Observe("a", uint64(v))
+				}
+			} else if idle++; idle > 3000 {
+				th.Sim().Stop()
+			}
+			th.Wait()
+		}
+	})
+
+	s.Run(sim.Time(uint64(messages)*1_000_000 + 100_000_000))
+	return StallHuntResult{
+		Errors:        sb.Drain(),
+		TimingStates:  cov.Distinct(),
+		CornerCovered: cov.Count("corner") > 0,
+		Delivered:     delivered,
+	}
+}
