@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench vet
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Fast correctness tier for scheduler/channel work: vet everything, then
+# race-test the packages whose concurrency the kernel refactor touches.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+vet:
+	$(GO) vet ./...

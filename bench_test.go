@@ -202,7 +202,7 @@ func BenchmarkNoCMeshRTLCosim(b *testing.B) {
 
 func benchSoCTest(b *testing.B, idx int, mode connections.Mode, galsOn bool) {
 	tc := soc.Tests()[idx]
-	var cycles uint64
+	var cycles, edges uint64
 	for i := 0; i < b.N; i++ {
 		cfg := soc.DefaultConfig()
 		cfg.Mode = mode
@@ -216,8 +216,22 @@ func benchSoCTest(b *testing.B, idx int, mode connections.Mode, galsOn bool) {
 			b.Fatal(err)
 		}
 		cycles = c
+		edges += s.Sim.TotalEdges()
 	}
-	b.ReportMetric(float64(cycles), "soc-cycles")
+	reportSimRates(b, cycles, edges)
+}
+
+// reportSimRates attaches the shared simulation-throughput metrics to a
+// SoC-level benchmark: the elapsed cycle count of one run (bit-identical
+// across runs and a regression guard for scheduler changes), simulated
+// cycles per wall second, and kernel edges processed per wall second.
+func reportSimRates(b *testing.B, cyclesPerRun, totalEdges uint64) {
+	b.ReportMetric(float64(cyclesPerRun), "cycles")
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(cyclesPerRun)*float64(b.N)/secs, "cycles/sec")
+		b.ReportMetric(float64(totalEdges)/secs, "edges/sec")
+	}
 }
 
 func BenchmarkSoCMemcpy(b *testing.B)  { benchSoCTest(b, 0, connections.ModeSimAccurate, false) }
@@ -236,18 +250,23 @@ func BenchmarkFig6TLMModel(b *testing.B) { benchSoCTest(b, 1, connections.ModeSi
 
 func BenchmarkFig6RTLCosim(b *testing.B) {
 	tc := soc.Tests()[1]
+	var cycles, edges uint64
 	for i := 0; i < b.N; i++ {
 		cfg := soc.DefaultConfig()
 		cfg.Mode = connections.ModeRTLCosim
 		cfg.ShadowNetlists = true
 		s, verify := tc.Build(cfg)
-		if _, err := s.Run(5_000_000); err != nil {
+		c, err := s.Run(5_000_000)
+		if err != nil {
 			b.Fatal(err)
 		}
 		if err := verify(s); err != nil {
 			b.Fatal(err)
 		}
+		cycles = c
+		edges += s.Sim.TotalEdges()
 	}
+	reportSimRates(b, cycles, edges)
 }
 
 // --- §3 / §4: back-end floorplan, clocking, and turnaround models ---

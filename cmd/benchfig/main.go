@@ -21,6 +21,7 @@ import (
 	"repro/internal/matchlib"
 	"repro/internal/noc"
 	"repro/internal/soc"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -92,7 +93,26 @@ func main() {
 		rows, err := soc.RunFig6(5_000_000)
 		check(err)
 		soc.PrintFig6(os.Stdout, rows)
+		printFig6Activity(rows)
 		fmt.Println()
+	}
+}
+
+// printFig6Activity aggregates each run's machine-readable metrics dump:
+// the stats JSON that RunFig6 snapshots per test is parsed back and
+// rolled up by path prefix, giving the activity columns behind the power
+// model (NoC flit-hops, channel transfers, scratchpad accesses).
+func printFig6Activity(rows []soc.Fig6Row) {
+	fmt.Printf("%-10s %12s %14s %12s %12s\n",
+		"test", "noc flits", "ch transfers", "mem reads", "mem writes")
+	for _, r := range rows {
+		ms, err := stats.ParseJSON(r.TLMStats)
+		check(err)
+		fmt.Printf("%-10s %12.0f %14.0f %12.0f %12.0f\n", r.Test,
+			stats.Total(ms, "soc/noc", "flits_out"),
+			stats.Total(ms, "soc", "transfers"),
+			stats.Total(ms, "soc", "mem_reads"),
+			stats.Total(ms, "soc", "mem_writes"))
 	}
 }
 

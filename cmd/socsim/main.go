@@ -26,7 +26,8 @@ func main() {
 	shadow := flag.Bool("shadow", false, "gate-level shadow cosimulation of PE datapaths (rtl mode)")
 	stall := flag.Float64("stall", 0, "stall-injection probability on every channel")
 	seed := flag.Int64("seed", 1, "stall-injection seed")
-	stats := flag.Bool("stats", false, "print per-node traffic statistics")
+	statsF := flag.Bool("stats", false, "dump the full per-component metrics tree")
+	statsJSON := flag.String("statsjson", "", "write the metrics snapshot as JSON to this file")
 	powerF := flag.Bool("power", false, "print the architectural power breakdown")
 	vcd := flag.String("vcd", "", "write a VCD waveform of all node packet channels to this file")
 	maxCycles := flag.Uint64("maxcycles", 10_000_000, "cycle budget")
@@ -57,6 +58,7 @@ func main() {
 		any = true
 		s, verify := tc.Build(cfg)
 		var vcdFile *os.File
+		var vcdTrace *trace.VCD
 		if *vcd != "" {
 			f, err := os.Create(*vcd)
 			if err != nil {
@@ -64,7 +66,8 @@ func main() {
 				os.Exit(1)
 			}
 			vcdFile = f
-			s.TraceChannels(trace.NewVCD(f))
+			vcdTrace = trace.NewVCD(f)
+			s.TraceChannels(vcdTrace)
 		}
 		start := time.Now()
 		cycles, err := s.Run(*maxCycles)
@@ -83,30 +86,35 @@ func main() {
 			fmt.Printf("  %d clock pauses", s.Pauses())
 		}
 		if vcdFile != nil {
+			samples, changes := vcdTrace.Counts()
 			if err := vcdFile.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "socsim:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("  wrote %s\n", *vcd)
+			fmt.Printf("  wrote %s (%d samples, %d changes)\n", *vcd, samples, changes)
 		}
 		fmt.Println()
 		if *powerF {
 			s.PowerEstimate(cycles, 1100).Print(os.Stdout)
 		}
-		if *stats {
-			for i, pe := range s.PEs {
-				st := pe.Stats
-				fmt.Printf("  pe%-2d  in %4d pkts  out %4d pkts  kernels %3d  words in %5d out %5d\n",
-					i, st.PacketsIn, st.PacketsOut, st.Kernels, st.WritesIn, st.ReadsOut)
+		// Every component registered itself into the simulator's metrics
+		// registry during construction; the dump walks the whole tree.
+		if *statsF {
+			s.Sim.Metrics().Dump(os.Stdout)
+		}
+		if *statsJSON != "" {
+			f, err := os.Create(*statsJSON)
+			if err == nil {
+				err = s.Sim.Metrics().WriteJSON(f)
 			}
-			for _, n := range []struct {
-				name string
-				n    *soc.MemNode
-			}{{"gml", s.GML}, {"gmr", s.GMR}, {"io", s.IO}} {
-				st := n.n.Stats
-				fmt.Printf("  %-4s  in %4d pkts  out %4d pkts  words in %5d out %5d\n",
-					n.name, st.PacketsIn, st.PacketsOut, st.WritesIn, st.ReadsOut)
+			if err == nil {
+				err = f.Close()
 			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "socsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote %s\n", *statsJSON)
 		}
 	}
 	if !any {

@@ -95,11 +95,11 @@ func NewSlave() *Slave {
 // Connect binds a master bundle to a slave bundle with Buffer channels of
 // the given depth on all five AXI channels.
 func Connect(clk *sim.Clock, name string, depth int, m *Master, s *Slave, opts ...connections.Option) {
-	connections.Buffer(clk, name+".aw", depth, m.AW, s.AW, opts...)
-	connections.Buffer(clk, name+".w", depth, m.W, s.W, opts...)
-	connections.Buffer(clk, name+".b", depth, s.B, m.B, opts...)
-	connections.Buffer(clk, name+".ar", depth, m.AR, s.AR, opts...)
-	connections.Buffer(clk, name+".r", depth, s.R, m.R, opts...)
+	connections.Buffer(clk, name+"/aw", depth, m.AW, s.AW, opts...)
+	connections.Buffer(clk, name+"/w", depth, m.W, s.W, opts...)
+	connections.Buffer(clk, name+"/b", depth, s.B, m.B, opts...)
+	connections.Buffer(clk, name+"/ar", depth, m.AR, s.AR, opts...)
+	connections.Buffer(clk, name+"/r", depth, s.R, m.R, opts...)
 }
 
 // MemSlave serves AXI bursts from a word-addressed memory array.
@@ -119,7 +119,7 @@ func NewMemSlave(clk *sim.Clock, name string, sizeWords int) *MemSlave {
 func NewMemSlaveBacked(clk *sim.Clock, name string, mem *matchlib.MemArray[uint64]) *MemSlave {
 	ms := &MemSlave{Port: NewSlave(), Mem: mem}
 	// Write engine: one AW, then its W beats, then one B.
-	clk.Spawn(name+".wr", func(th *sim.Thread) {
+	clk.Spawn(name+"/wr", func(th *sim.Thread) {
 		for {
 			aw := ms.Port.AW.Pop(th)
 			ok := true
@@ -141,7 +141,7 @@ func NewMemSlaveBacked(clk *sim.Clock, name string, mem *matchlib.MemArray[uint6
 		}
 	})
 	// Read engine: one AR, then its R beats.
-	clk.Spawn(name+".rd", func(th *sim.Thread) {
+	clk.Spawn(name+"/rd", func(th *sim.Thread) {
 		for {
 			ar := ms.Port.AR.Pop(th)
 			for i := 0; i < ar.Len; i++ {

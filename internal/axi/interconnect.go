@@ -189,7 +189,7 @@ func NewBridge(clk *sim.Clock, name string, id int) *Bridge {
 		Rsp:  connections.NewOut[Resp](),
 		Port: NewMaster(),
 	}
-	clk.Spawn(name+".bridge", func(th *sim.Thread) {
+	clk.Spawn(name+"/bridge", func(th *sim.Thread) {
 		for {
 			req := b.Req.Pop(th)
 			if req.Write {

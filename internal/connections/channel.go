@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Mode selects the port-operation cost model of a channel.
@@ -188,6 +189,11 @@ type core[T any] struct {
 
 	pack func(any) bitvec.Vec
 
+	// Cached parking predicates so blocking port ops don't allocate a
+	// bound-method closure per call.
+	popReady  func() bool
+	pushReady func() bool
+
 	// RTL-cosim per-cycle signal evaluation state: the channel's wire
 	// image (head message bits plus handshake bits) is recomputed every
 	// cycle and toggles are accumulated, modelling what an RTL simulator
@@ -237,11 +243,33 @@ func newCore[T any](clk *sim.Clock, name string, kind Kind, capacity int, opts [
 		h.Write([]byte(name))
 		c.rng = rand.New(rand.NewSource(o.stallSeed ^ int64(h.Sum64())))
 	}
+	c.popReady = c.canPop
+	c.pushReady = c.canPush
 	if c.mode == ModeRTLCosim {
-		clk.AtDrive(c.rtlEval)
+		clk.AtDriveNamed(name+"/rtl_eval", c.rtlEval)
 	}
-	clk.AtCommit(c.commit)
+	clk.AtCommitNamed(name, c.commit)
+	// Every channel is a component: its counters surface through the
+	// simulator's metrics registry under the channel name as a path.
+	clk.Sim().Component(name).Source(c.emitStats)
 	return c
+}
+
+// emitStats surfaces the channel's counters into the unified metrics
+// registry at snapshot time.
+func (c *core[T]) emitStats(emit stats.Emit) {
+	s := c.stats
+	emit("transfers", float64(s.Transfers))
+	emit("push_attempts", float64(s.PushAttempts))
+	emit("push_fails", float64(s.PushFails))
+	emit("pop_attempts", float64(s.PopAttempts))
+	emit("pop_fails", float64(s.PopFails))
+	emit("stall_cycles", float64(s.StallCycles))
+	emit("occupancy_mean", s.MeanOccupancy())
+	emit("occupancy", float64(len(c.queue)))
+	if c.mode == ModeRTLCosim {
+		emit("rtl_toggles", float64(c.rtlToggles))
+	}
 }
 
 // rtlEval recomputes the channel's wire image once per cycle — the
@@ -287,12 +315,35 @@ type inflight[T any] struct {
 	mature uint64 // cycle at which the entry enters the visible queue
 }
 
+// canPush reports whether a tryPush this cycle would succeed; blocked
+// producers park on it.
+func (c *core[T]) canPush() bool {
+	return !c.stalledReady && c.skidFree()
+}
+
+// canPop reports whether a tryPop this cycle would succeed, including
+// the kind-specific bypass path; blocked consumers park on it.
+func (c *core[T]) canPop() bool {
+	if c.stalledValid {
+		return false
+	}
+	if len(c.queue)-c.stagedPops > 0 {
+		return true
+	}
+	if c.kind == KindBypass || c.kind == KindCombinational {
+		// The bypass path may only fire when no older message is still in
+		// flight; otherwise it would overtake and reorder.
+		return len(c.inflightBuf) == 0 && len(c.skid)-c.bypassTaken > 0
+	}
+	return false
+}
+
 // tryPush attempts to place v in the producer skid. Success means the
 // message is committed to delivery (possibly after back-pressure delay);
 // failure means the port saw ready deasserted this cycle.
 func (c *core[T]) tryPush(v T) bool {
 	c.stats.PushAttempts++
-	if c.stalledReady || !c.skidFree() {
+	if !c.canPush() {
 		c.stats.PushFails++
 		return false
 	}
@@ -310,7 +361,7 @@ func (c *core[T]) tryPush(v T) bool {
 func (c *core[T]) tryPop() (T, bool) {
 	var zero T
 	c.stats.PopAttempts++
-	if c.stalledValid {
+	if !c.canPop() {
 		c.stats.PopFails++
 		return zero, false
 	}
@@ -319,17 +370,9 @@ func (c *core[T]) tryPop() (T, bool) {
 		c.stagedPops++
 		return v, true
 	}
-	if c.kind == KindBypass || c.kind == KindCombinational {
-		// The bypass path may only fire when no older message is still in
-		// flight; otherwise it would overtake and reorder.
-		if len(c.inflightBuf) == 0 && len(c.skid)-c.bypassTaken > 0 {
-			v := c.skid[c.bypassTaken]
-			c.bypassTaken++
-			return v, true
-		}
-	}
-	c.stats.PopFails++
-	return zero, false
+	v := c.skid[c.bypassTaken]
+	c.bypassTaken++
+	return v, true
 }
 
 // peek returns the head without consuming it.
@@ -347,6 +390,17 @@ func (c *core[T]) peek() (T, bool) {
 // commit is the channel's kernel process: it latches this cycle's staged
 // operations, matures the delay line, and rolls next cycle's stalls.
 func (c *core[T]) commit() {
+	// Idle fast path: nothing staged, nothing buffered, no stall stream to
+	// roll — only the per-cycle counters advance. This is the common case
+	// for most channels on most cycles and is bit-identical to the full
+	// path below.
+	if c.stagedPops == 0 && c.bypassTaken == 0 && c.rng == nil &&
+		len(c.skid) == 0 && len(c.inflightBuf) == 0 {
+		c.stats.Cycles++
+		c.stats.OccupancySum += uint64(len(c.queue))
+		return
+	}
+
 	c.stats.Transfers += uint64(c.stagedPops + c.bypassTaken)
 	c.stats.Cycles++
 	c.stats.OccupancySum += uint64(len(c.queue))

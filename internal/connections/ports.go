@@ -56,17 +56,27 @@ func (p *In[T]) PopNB(th *sim.Thread) (T, bool) {
 	return c.tryPop()
 }
 
-// Pop blocks until a message is available and returns it.
+// Pop blocks until a message is available and returns it. In the
+// sim-accurate and RTL-cosim models a blocked consumer parks on the
+// channel's readiness predicate, so idle cycles cost no goroutine
+// handoff; the signal-accurate model keeps polling because every PopNB
+// attempt charges its own handshake Wait.
 func (p *In[T]) Pop(th *sim.Thread) T {
 	c := p.need()
+	if c.mode == ModeSignalAccurate {
+		for {
+			v, ok := p.PopNB(th)
+			if ok {
+				return v
+			}
+		}
+	}
 	for {
-		v, ok := p.PopNB(th)
+		v, ok := c.tryPop()
 		if ok {
 			return v
 		}
-		if c.mode != ModeSignalAccurate {
-			th.Wait() // signal-accurate PopNB already waited
-		}
+		th.WaitFor(c.popReady)
 	}
 }
 
@@ -80,6 +90,14 @@ func (p *In[T]) Empty() bool {
 	_, ok := c.peek()
 	return !ok
 }
+
+// Ready reports whether a PopNB this cycle would succeed, including the
+// kind-specific bypass path. Components with their own scan loops use it
+// as a parking predicate.
+func (p *In[T]) Ready() bool { return p.need().canPop() }
+
+// Mode returns the bound channel's port-operation cost model.
+func (p *In[T]) Mode() Mode { return p.need().mode }
 
 // Stats returns the bound channel's counters.
 func (p *In[T]) Stats() Stats { return p.need().Stats() }
@@ -96,16 +114,23 @@ func (p *Out[T]) PushNB(th *sim.Thread, v T) bool {
 	return c.tryPush(v)
 }
 
-// Push blocks until the channel accepts the message.
+// Push blocks until the channel accepts the message. Like Pop, a
+// blocked producer parks on the channel's capacity predicate except in
+// the signal-accurate model.
 func (p *Out[T]) Push(th *sim.Thread, v T) {
 	c := p.need()
+	if c.mode == ModeSignalAccurate {
+		for {
+			if p.PushNB(th, v) {
+				return
+			}
+		}
+	}
 	for {
-		if p.PushNB(th, v) {
+		if c.tryPush(v) {
 			return
 		}
-		if c.mode != ModeSignalAccurate {
-			th.Wait()
-		}
+		th.WaitFor(c.pushReady)
 	}
 }
 
@@ -114,6 +139,9 @@ func (p *Out[T]) Full() bool {
 	c := p.need()
 	return !c.skidFree() || c.stalledReady
 }
+
+// Mode returns the bound channel's port-operation cost model.
+func (p *Out[T]) Mode() Mode { return p.need().mode }
 
 // Stats returns the bound channel's counters.
 func (p *Out[T]) Stats() Stats { return p.need().Stats() }
@@ -147,7 +175,7 @@ func (ch Channel[T]) Trace(v *trace.VCD, name string) {
 	occ := v.Declare(name+".occ", 8)
 	valid := v.Declare(name+".valid", 1)
 	ready := v.Declare(name+".ready", 1)
-	c.clk.AtMonitor(func() {
+	c.clk.AtMonitorNamed(c.name+"/trace", func() {
 		occ.Set(uint64(len(c.queue)))
 		var vb, rb uint64
 		if _, ok := c.peek(); ok {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // PausibleBisyncFIFO is the pausible bisynchronous FIFO of the paper's
@@ -22,6 +23,10 @@ type PausibleBisyncFIFO[T any] struct {
 	buf  []entry[T]
 	wptr uint64
 	rptr uint64
+
+	// Cached parking predicates for blocked Push/Pop.
+	notFull  func() bool
+	notEmpty func() bool
 
 	// window is the metastability conflict window in picoseconds: a
 	// pointer change closer than this to the other domain's next edge
@@ -43,11 +48,19 @@ func NewPausibleBisyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim
 	if depth < 1 {
 		panic(fmt.Sprintf("gals: FIFO depth %d", depth))
 	}
-	return &PausibleBisyncFIFO[T]{
+	f := &PausibleBisyncFIFO[T]{
 		prod: prod, cons: cons, s: s,
 		buf:    make([]entry[T], depth),
 		window: window,
 	}
+	f.notFull = func() bool { return f.wptr-f.rptr < uint64(len(f.buf)) }
+	f.notEmpty = func() bool { return f.rptr != f.wptr }
+	s.Component(name).Source(func(emit stats.Emit) {
+		emit("pauses", float64(f.Pauses))
+		emit("transfers", float64(f.Transfers))
+		emit("occupancy", float64(f.Occupancy()))
+	})
+	return f
 }
 
 // pauseIfConflict implements the pausible handshake: a pointer that
@@ -81,10 +94,12 @@ func (f *PausibleBisyncFIFO[T]) PushNB(v T) bool {
 	return true
 }
 
-// Push blocks (in producer-domain cycles) until accepted.
+// Push blocks (in producer-domain cycles) until accepted. A blocked
+// producer parks on the FIFO's capacity predicate: a failed PushNB has
+// no side effects, so parking is cycle-identical to polling.
 func (f *PausibleBisyncFIFO[T]) Push(th *sim.Thread, v T) {
 	for !f.PushNB(v) {
-		th.Wait()
+		th.WaitFor(f.notFull)
 	}
 }
 
@@ -102,13 +117,14 @@ func (f *PausibleBisyncFIFO[T]) PopNB() (T, bool) {
 	return v, true
 }
 
-// Pop blocks (in consumer-domain cycles) until a value arrives.
+// Pop blocks (in consumer-domain cycles) until a value arrives, parking
+// on the FIFO's occupancy predicate while empty.
 func (f *PausibleBisyncFIFO[T]) Pop(th *sim.Thread) T {
 	for {
 		if v, ok := f.PopNB(); ok {
 			return v
 		}
-		th.Wait()
+		th.WaitFor(f.notEmpty)
 	}
 }
 
@@ -131,6 +147,9 @@ type BruteForceSyncFIFO[T any] struct {
 	rptrSyncToProd [2]uint64
 
 	Transfers uint64
+
+	notFull  func() bool
+	notEmpty func() bool
 }
 
 // NewBruteForceSyncFIFO builds the baseline FIFO and registers the
@@ -140,6 +159,8 @@ func NewBruteForceSyncFIFO[T any](prod, cons *sim.Clock, depth int) *BruteForceS
 		prod: prod, cons: cons,
 		buf: make([]entry[T], depth),
 	}
+	f.notFull = func() bool { return f.wptr-f.rptrSyncToProd[1] < uint64(len(f.buf)) }
+	f.notEmpty = func() bool { return f.rptr != f.wptrSyncToCons[1] }
 	cons.AtCommit(func() {
 		f.wptrSyncToCons[1] = f.wptrSyncToCons[0]
 		f.wptrSyncToCons[0] = f.wptr
@@ -162,10 +183,10 @@ func (f *BruteForceSyncFIFO[T]) PushNB(v T) bool {
 	return true
 }
 
-// Push blocks until accepted.
+// Push blocks until accepted, parking on the synchronized full check.
 func (f *BruteForceSyncFIFO[T]) Push(th *sim.Thread, v T) {
 	for !f.PushNB(v) {
-		th.Wait()
+		th.WaitFor(f.notFull)
 	}
 }
 
@@ -181,12 +202,13 @@ func (f *BruteForceSyncFIFO[T]) PopNB() (T, bool) {
 	return v, true
 }
 
-// Pop blocks until a value arrives.
+// Pop blocks until a value arrives, parking on the synchronized empty
+// check.
 func (f *BruteForceSyncFIFO[T]) Pop(th *sim.Thread) T {
 	for {
 		if v, ok := f.PopNB(); ok {
 			return v
 		}
-		th.Wait()
+		th.WaitFor(f.notEmpty)
 	}
 }

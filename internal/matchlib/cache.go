@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/connections"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // CacheReq is a word access presented to the cache.
@@ -92,6 +93,12 @@ func NewCache(clk *sim.Clock, name string, capacityWords, lineWords, ways int) *
 	for s := range c.lines {
 		c.lines[s] = make([]cacheLine, ways)
 	}
+	clk.Sim().Component(name).Source(func(emit stats.Emit) {
+		emit("hits", float64(c.stats.Hits))
+		emit("misses", float64(c.stats.Misses))
+		emit("evictions", float64(c.stats.Evictions))
+		emit("writebacks", float64(c.stats.Writebacks))
+	})
 	var stamp uint64
 	clk.Spawn(name+".cache", func(th *sim.Thread) {
 		for {

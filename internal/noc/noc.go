@@ -9,6 +9,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/connections"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Packet is the unit of end-to-end NoC communication.
@@ -81,4 +82,13 @@ type RouterStats struct {
 	FlitsOut  uint64
 	PacketsIn uint64
 	Stalls    uint64 // output offers rejected by back-pressure
+}
+
+// emit surfaces the counters into the unified metrics registry; routers
+// register it as their component's snapshot source.
+func (s *RouterStats) emit(emit stats.Emit) {
+	emit("flits_in", float64(s.FlitsIn))
+	emit("flits_out", float64(s.FlitsOut))
+	emit("packets_in", float64(s.PacketsIn))
+	emit("stalls", float64(s.Stalls))
 }

@@ -54,10 +54,35 @@ func NewSFRouter(clk *sim.Clock, name string, nPorts, pktQ int, route RouteFunc)
 		r.arbs[i] = matchlib.NewArbiter(nPorts)
 	}
 	clk.Spawn(name+".sf", func(th *sim.Thread) { r.run(th) })
+	clk.Sim().Component(name).Source(r.Stats.emit)
 	return r
 }
 
 func (r *SFRouter) run(th *sim.Thread) {
+	// The loop body is a no-op when every input is empty, every assembled
+	// packet queue is empty, and no output is mid-packet, so the thread
+	// parks on that condition. Parking skips the failing per-input PopNB
+	// calls, which is only behavior-preserving when no input charges a
+	// per-attempt handshake wait (ModeSignalAccurate).
+	park := true
+	for i := 0; i < r.nPorts; i++ {
+		if r.In[i].Mode() == connections.ModeSignalAccurate {
+			park = false
+		}
+	}
+	hasWork := func() bool {
+		for i := 0; i < r.nPorts; i++ {
+			if r.In[i].Ready() || !r.ready[i].Empty() {
+				return true
+			}
+		}
+		for o := 0; o < r.nPorts; o++ {
+			if r.sending[o].flits != nil {
+				return true
+			}
+		}
+		return false
+	}
 	for {
 		// Assemble complete packets per input.
 		for i := 0; i < r.nPorts; i++ {
@@ -109,6 +134,10 @@ func (r *SFRouter) run(th *sim.Thread) {
 				r.Stats.Stalls++
 			}
 		}
-		th.Wait()
+		if park {
+			th.WaitFor(hasWork)
+		} else {
+			th.Wait()
+		}
 	}
 }

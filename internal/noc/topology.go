@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/connections"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // NI is a network interface: it serializes injected packets into flits
@@ -53,6 +54,25 @@ func NewNI(clk *sim.Clock, name string, node, nVCs int, vcPick func(Packet) int)
 	})
 	clk.Spawn(name+".eject", func(th *sim.Thread) {
 		acc := make([][]Flit, nVCs)
+		// The per-VC scan below is a no-op when no input VC has a flit, so
+		// the thread parks on flit arrival — except when an input charges a
+		// per-attempt handshake wait (ModeSignalAccurate), where skipping
+		// the failing PopNB calls would change elapsed cycles. Modes are
+		// read here, at the first edge, because ports are bound after NewNI.
+		park := true
+		for v := 0; v < nVCs; v++ {
+			if ni.FlitIn[v].Mode() == connections.ModeSignalAccurate {
+				park = false
+			}
+		}
+		anyFlit := func() bool {
+			for v := 0; v < nVCs; v++ {
+				if ni.FlitIn[v].Ready() {
+					return true
+				}
+			}
+			return false
+		}
 		for {
 			for v := 0; v < nVCs; v++ {
 				f, ok := ni.FlitIn[v].PopNB(th)
@@ -74,8 +94,16 @@ func NewNI(clk *sim.Clock, name string, node, nVCs int, vcPick func(Packet) int)
 					ni.Ejected++
 				}
 			}
-			th.Wait()
+			if park {
+				th.WaitFor(anyFlit)
+			} else {
+				th.Wait()
+			}
 		}
+	})
+	clk.Sim().Component(name).Source(func(emit stats.Emit) {
+		emit("packets_injected", float64(ni.Injected))
+		emit("packets_ejected", float64(ni.Ejected))
 	})
 	return ni
 }

@@ -66,11 +66,27 @@ func NewWHVCRouter(clk *sim.Clock, name string, nPorts, nVCs int, route RouteFun
 		r.arbs[i] = matchlib.NewArbiter(nPorts * nVCs)
 	}
 	clk.Spawn(name+".whvc", func(th *sim.Thread) { r.run(th) })
+	clk.Sim().Component(name).Source(r.Stats.emit)
 	return r
 }
 
 func (r *WHVCRouter) run(th *sim.Thread) {
 	inUsed := make([]bool, r.nPorts)
+	// With every input VC empty the loop body below is a no-op (req stays
+	// zero for every output, so neither the arbiters nor the counters are
+	// touched), so the thread parks until a flit is peekable. Peek never
+	// charges a wait in any cost model, making this safe even under
+	// ModeSignalAccurate.
+	anyInput := func() bool {
+		for i := 0; i < r.nPorts; i++ {
+			for v := 0; v < r.nVCs; v++ {
+				if _, ok := r.In[i][v].Peek(); ok {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	for {
 		// Each output port sends at most one flit per cycle, chosen
 		// round-robin among (a) input VCs that own one of its output VCs
@@ -113,7 +129,7 @@ func (r *WHVCRouter) run(th *sim.Thread) {
 				inUsed[g/r.nVCs] = true
 			}
 		}
-		th.Wait()
+		th.WaitFor(anyInput)
 	}
 }
 

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestComponentPaths(t *testing.T) {
+	s := New()
+	c := s.Component("soc/pe[3]/inject")
+	if c.Path() != "soc/pe[3]/inject" || c.Name() != "inject" {
+		t.Fatalf("path %q name %q", c.Path(), c.Name())
+	}
+	if c.Parent().Path() != "soc/pe[3]" {
+		t.Fatalf("parent path %q", c.Parent().Path())
+	}
+	// Get-or-create: the same path yields the same node.
+	if s.Component("soc/pe[3]/inject") != c {
+		t.Fatal("second Component call returned a different node")
+	}
+	if got, ok := s.Lookup("soc/pe[3]"); !ok || got != c.Parent() {
+		t.Fatal("Lookup missed an existing component")
+	}
+	if _, ok := s.Lookup("soc/pe[9]"); ok {
+		t.Fatal("Lookup created a component")
+	}
+	if s.Component("") != s.Root() {
+		t.Fatal("empty path is not the root")
+	}
+}
+
+func TestComponentChildrenOrderAndWalk(t *testing.T) {
+	s := New()
+	s.Component("top/b")
+	s.Component("top/a")
+	s.Component("top/b/x")
+	var walked []string
+	s.Component("top").Walk(func(c *Component) { walked = append(walked, c.Path()) })
+	want := []string{"top", "top/b", "top/b/x", "top/a"}
+	if len(walked) != len(want) {
+		t.Fatalf("walk = %v, want %v", walked, want)
+	}
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Fatalf("walk = %v, want %v (creation order)", walked, want)
+		}
+	}
+	kids := s.Component("top").Children()
+	if len(kids) != 2 || kids[0].Name() != "b" || kids[1].Name() != "a" {
+		t.Fatalf("children = %v", kids)
+	}
+}
+
+func TestComponentBadNamePanics(t *testing.T) {
+	s := New()
+	for _, bad := range []string{"", "a/b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Child(%q) did not panic", bad)
+				}
+			}()
+			s.Root().Child(bad)
+		}()
+	}
+}
+
+func TestComponentMetrics(t *testing.T) {
+	s := New()
+	c := s.Component("dut/fifo")
+	c.Counter("transfers").Add(3)
+	c.Gauge("depth").Set(4)
+	c.Source(func(emit stats.Emit) {
+		emit("dynamic", 7)
+	})
+	ms := s.Metrics().Snapshot()
+	want := map[string]float64{"transfers": 3, "depth": 4, "dynamic": 7}
+	found := 0
+	for _, m := range ms {
+		if m.Path == "dut/fifo" {
+			if v, ok := want[m.Name]; !ok || v != m.Value {
+				t.Fatalf("unexpected metric %+v", m)
+			}
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("found %d dut/fifo metrics, want %d (snapshot %v)", found, len(want), ms)
+	}
+}
+
+func TestKernelMetricsSource(t *testing.T) {
+	s := New()
+	clk := s.AddClock("main", 1000, 0)
+	clk.Spawn("t", func(th *Thread) {
+		for {
+			th.Wait()
+		}
+	})
+	reg := s.Metrics() // registered before running; polls at snapshot time
+	s.RunCycles(clk, 5)
+	get := func(path, name string) float64 {
+		for _, m := range reg.Snapshot() {
+			if m.Path == path && m.Name == name {
+				return m.Value
+			}
+		}
+		t.Fatalf("metric %s.%s missing", path, name)
+		return 0
+	}
+	if v := get("sim", "total_edges"); v != 5 {
+		t.Fatalf("total_edges = %v, want 5", v)
+	}
+	if v := get("sim/clk[main]", "cycles"); v != 5 {
+		t.Fatalf("clk cycles = %v, want 5", v)
+	}
+	if v := get("sim/clk[main]", "processes"); v != 1 {
+		t.Fatalf("processes = %v, want 1", v)
+	}
+}
+
+func TestProcessesIntrospection(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	clk.Spawn("dut/worker", func(th *Thread) {})
+	clk.AtDriveNamed("dut/drv", func() {})
+	clk.AtResolveNamed("dut/res", func() bool { return false })
+	clk.AtCommitNamed("dut/latch", func() {})
+	clk.AtMonitorNamed("dut/mon", func() {})
+	clk.AtCommit(func() {}) // anonymous
+
+	ps := s.Processes()
+	byPhase := map[string][]string{}
+	for _, p := range ps {
+		if p.Clock != "clk" {
+			t.Fatalf("process %+v has wrong clock", p)
+		}
+		byPhase[p.Phase] = append(byPhase[p.Phase], p.Name)
+	}
+	checks := []struct {
+		phase, name string
+	}{
+		{"thread", "dut/worker"},
+		{"drive", "dut/drv"},
+		{"resolve", "dut/res"},
+		{"commit", "dut/latch"},
+		{"monitor", "dut/mon"},
+	}
+	for _, c := range checks {
+		found := false
+		for _, n := range byPhase[c.phase] {
+			found = found || n == c.name
+		}
+		if !found {
+			t.Fatalf("phase %s missing process %q: %v", c.phase, c.name, byPhase)
+		}
+	}
+	if len(byPhase["commit"]) != 2 {
+		t.Fatalf("commit hooks = %v, want named + anonymous", byPhase["commit"])
+	}
+}

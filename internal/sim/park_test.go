@@ -1,0 +1,212 @@
+package sim
+
+import "testing"
+
+// Parking is an execution optimization only: a thread using WaitFor must
+// observe exactly the cycle the equivalent polling loop observes.
+func TestWaitForMatchesPollingLoop(t *testing.T) {
+	run := func(park bool) []uint64 {
+		s := New()
+		clk := s.AddClock("clk", 1000, 0)
+		flag := false
+		clk.AtCommit(func() {
+			// Raise the flag on cycles 4 and 9, clear it the cycle after.
+			flag = clk.Cycle() == 4 || clk.Cycle() == 9
+		})
+		var seen []uint64
+		clk.Spawn("waiter", func(th *Thread) {
+			for i := 0; i < 2; i++ {
+				if park {
+					th.WaitFor(func() bool { return flag })
+				} else {
+					for {
+						th.Wait()
+						if flag {
+							break
+						}
+					}
+				}
+				seen = append(seen, th.Cycle())
+			}
+		})
+		s.RunCycles(clk, 20)
+		return seen
+	}
+	parked, polled := run(true), run(false)
+	if len(parked) != 2 || len(polled) != 2 {
+		t.Fatalf("parked %v polled %v, want two wakeups each", parked, polled)
+	}
+	for i := range parked {
+		if parked[i] != polled[i] {
+			t.Fatalf("wakeup %d: parked at cycle %d, polling at cycle %d", i, parked[i], polled[i])
+		}
+	}
+}
+
+// WaitFor, like Wait, suspends for at least one edge even when the
+// predicate already holds.
+func TestWaitForAlwaysSuspendsOneEdge(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	var before, after uint64
+	clk.Spawn("t", func(th *Thread) {
+		before = th.Cycle()
+		th.WaitFor(func() bool { return true })
+		after = th.Cycle()
+	})
+	s.RunCycles(clk, 5)
+	if after != before+1 {
+		t.Fatalf("WaitFor(true) resumed at cycle %d after %d, want +1", after, before)
+	}
+}
+
+func TestWaitNMatchesRepeatedWait(t *testing.T) {
+	run := func(park bool) uint64 {
+		s := New()
+		clk := s.AddClock("clk", 1000, 0)
+		var woke uint64
+		clk.Spawn("t", func(th *Thread) {
+			if park {
+				th.WaitN(7)
+			} else {
+				for i := 0; i < 7; i++ {
+					th.Wait()
+				}
+			}
+			woke = th.Cycle()
+		})
+		s.RunCycles(clk, 12)
+		return woke
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Fatalf("WaitN woke at cycle %d, 7×Wait at %d", a, b)
+	}
+}
+
+func TestWaitNZeroReturnsImmediately(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	var woke uint64
+	clk.Spawn("t", func(th *Thread) {
+		th.WaitN(0)
+		woke = th.Cycle()
+	})
+	s.RunCycles(clk, 3)
+	if woke != 1 {
+		t.Fatalf("WaitN(0) woke at cycle %d, want 1 (no suspension)", woke)
+	}
+}
+
+func TestWaitForNilPanics(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	clk.Spawn("bad", func(th *Thread) {
+		th.WaitFor(nil)
+	})
+	s.RunCycles(clk, 2)
+	if s.Err() == nil {
+		t.Fatal("WaitFor(nil) did not surface an error")
+	}
+}
+
+// A parked thread keeps its scheduling slot: threads registered after it
+// still run in registration order on the edge it wakes.
+func TestParkedThreadKeepsRegistrationOrder(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	ready := false
+	clk.AtCommit(func() { ready = clk.Cycle() == 3 })
+	var order []string
+	clk.Spawn("first", func(th *Thread) {
+		th.WaitFor(func() bool { return ready })
+		order = append(order, "first")
+	})
+	clk.Spawn("second", func(th *Thread) {
+		for len(order) == 0 || order[len(order)-1] != "first" {
+			th.Wait()
+		}
+		order = append(order, "second")
+	})
+	s.RunCycles(clk, 8)
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v, want [first second]", order)
+	}
+}
+
+// Regression: Drain used to clear the stopped flag unconditionally, so a
+// simulation the user had stopped reported Stopped() == false after a
+// drain. The stop reason must survive.
+func TestDrainPreservesStop(t *testing.T) {
+	s := New()
+	clk := s.AddClock("clk", 1000, 0)
+	clk.Spawn("stopper", func(th *Thread) {
+		th.WaitN(2)
+		th.Sim().Stop()
+		th.WaitN(3) // still alive when Drain starts
+	})
+	s.Run(Infinity - 1)
+	if !s.Stopped() {
+		t.Fatal("precondition: simulator not stopped")
+	}
+	s.Drain(100)
+	if !s.Stopped() {
+		t.Fatal("Drain cleared the user's stop request")
+	}
+	// A never-stopped simulator stays unstopped through a drain.
+	s2 := New()
+	clk2 := s2.AddClock("clk", 1000, 0)
+	clk2.Spawn("short", func(th *Thread) { th.WaitN(2) })
+	s2.RunCycles(clk2, 1)
+	s2.Drain(100)
+	if s2.Stopped() {
+		t.Fatal("Drain stopped a simulator that was never stopped")
+	}
+}
+
+// Coincident edges across clock domains fire in name order regardless of
+// registration order, including for thread phases and when one domain's
+// threads are parked.
+func TestCoincidentEdgesWithParkedThreads(t *testing.T) {
+	run := func() []string {
+		s := New()
+		z := s.AddClock("z", 2000, 0)
+		a := s.AddClock("a", 1000, 0)
+		var order []string
+		ready := false
+		a.AtCommit(func() { ready = a.Cycle() >= 3 })
+		z.Spawn("zt", func(th *Thread) {
+			for {
+				order = append(order, "z")
+				th.Wait()
+			}
+		})
+		a.Spawn("at", func(th *Thread) {
+			th.WaitFor(func() bool { return ready })
+			order = append(order, "a-woke")
+			for {
+				th.Wait()
+			}
+		})
+		s.Run(6001)
+		return order
+	}
+	first := run()
+	woke := false
+	for _, e := range first {
+		woke = woke || e == "a-woke"
+	}
+	if !woke {
+		t.Fatalf("parked thread never woke: %v", first)
+	}
+	for i := 0; i < 3; i++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("run %d: order %v, first run %v", i, got, first)
+		}
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("run %d: order %v, first run %v", i, got, first)
+			}
+		}
+	}
+}

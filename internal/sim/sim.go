@@ -23,6 +23,18 @@
 // signal-accurate channel model and one Wait total in the sim-accurate
 // model — the distinction at the heart of the paper's Figure 3.
 //
+// A thread that would otherwise poll an idle latency-insensitive endpoint
+// can park on a predicate (Thread.WaitFor) or a countdown (Thread.WaitN):
+// the kernel evaluates the condition at the thread's scheduling slot each
+// edge and skips the two-channel goroutine handoff entirely until it
+// holds. Parking is an execution optimization only — a parked thread
+// observes exactly the cycle it would have observed by polling.
+//
+// Every simulated component can register into a hierarchical component
+// tree (Simulator.Component) whose paths ("soc/pe[3]/inject") key the
+// unified metrics registry (internal/stats) shared by channels, routers,
+// memories, power, and coverage.
+//
 // Clocks may be paused or retuned while the simulation runs, which is what
 // the fine-grained GALS substrate (internal/gals) uses to model pausible
 // and adaptive clocking.
@@ -32,6 +44,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+
+	"repro/internal/stats"
 )
 
 // Time is simulated time in picoseconds.
@@ -40,7 +55,7 @@ type Time uint64
 // Infinity is a time later than any event.
 const Infinity Time = math.MaxUint64
 
-// Simulator owns clocks, threads, and simulated time.
+// Simulator owns clocks, threads, components, and simulated time.
 type Simulator struct {
 	clocks  []*Clock
 	now     Time
@@ -48,6 +63,17 @@ type Simulator struct {
 	err     error
 
 	totalEdges uint64
+
+	// ordered caches s.clocks sorted by name for deterministic coincident
+	// edge firing; due is the reusable scratch list of clocks firing at
+	// the current step.
+	ordered      []*Clock
+	orderedDirty bool
+	due          []*Clock
+
+	metrics *stats.Registry
+	root    *Component
+	comps   map[string]*Component
 }
 
 // New returns an empty simulator at time zero.
@@ -72,6 +98,140 @@ func (s *Simulator) Stopped() bool { return s.stopped }
 // Err returns the first error raised by a thread panic, if any.
 func (s *Simulator) Err() error { return s.err }
 
+// Metrics returns the simulator's metrics registry, creating it on first
+// use. The kernel publishes its own counters under the "sim" component.
+func (s *Simulator) Metrics() *stats.Registry {
+	if s.metrics == nil {
+		s.metrics = stats.New()
+		s.metrics.TreeSource(func(emit stats.EmitAt) {
+			emit("sim", "total_edges", float64(s.totalEdges))
+			emit("sim", "now_ps", float64(s.now))
+			for _, c := range s.clocks {
+				p := "sim/clk[" + c.name + "]"
+				emit(p, "cycles", float64(c.cycle))
+				emit(p, "period_ps", float64(c.period))
+				emit(p, "processes", float64(len(c.threads)))
+			}
+		})
+	}
+	return s.metrics
+}
+
+// Component is a node in the design hierarchy. Paths are "/"-separated
+// segments from the root ("soc/pe[3]/inject"); replicated elements use a
+// bracketed index segment. Components key the metrics registry and give
+// threads and hooks an introspectable home.
+type Component struct {
+	sim      *Simulator
+	parent   *Component
+	name     string // final path segment; "" for the root
+	path     string // full path; "" for the root
+	children map[string]*Component
+	order    []string // child names in creation order
+}
+
+// Root returns the root of the component tree, creating it on first use.
+func (s *Simulator) Root() *Component {
+	if s.root == nil {
+		s.root = &Component{sim: s, children: make(map[string]*Component)}
+		s.comps = map[string]*Component{"": s.root}
+	}
+	return s.root
+}
+
+// Component returns the component at path, creating it (and any missing
+// ancestors) on first use. The empty path names the root.
+func (s *Simulator) Component(path string) *Component {
+	c := s.Root()
+	if path == "" {
+		return c
+	}
+	if got, ok := s.comps[path]; ok {
+		return got
+	}
+	for _, seg := range strings.Split(path, "/") {
+		c = c.Child(seg)
+	}
+	return c
+}
+
+// Lookup returns the component at path without creating it.
+func (s *Simulator) Lookup(path string) (*Component, bool) {
+	if s.comps == nil {
+		return nil, false
+	}
+	c, ok := s.comps[path]
+	return c, ok
+}
+
+// Child returns the direct child with the given name, creating it on
+// first use. Names must be non-empty and must not contain "/".
+func (c *Component) Child(name string) *Component {
+	if name == "" || strings.Contains(name, "/") {
+		panic(fmt.Sprintf("sim: bad component name %q", name))
+	}
+	if got, ok := c.children[name]; ok {
+		return got
+	}
+	path := name
+	if c.path != "" {
+		path = c.path + "/" + name
+	}
+	child := &Component{
+		sim:      c.sim,
+		parent:   c,
+		name:     name,
+		path:     path,
+		children: make(map[string]*Component),
+	}
+	c.children[name] = child
+	c.order = append(c.order, name)
+	c.sim.comps[path] = child
+	return child
+}
+
+// Name returns the component's final path segment ("" for the root).
+func (c *Component) Name() string { return c.name }
+
+// Path returns the component's full hierarchical path ("" for the root).
+func (c *Component) Path() string { return c.path }
+
+// Parent returns the enclosing component (nil for the root).
+func (c *Component) Parent() *Component { return c.parent }
+
+// Children returns the direct children in creation order.
+func (c *Component) Children() []*Component {
+	out := make([]*Component, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.children[n])
+	}
+	return out
+}
+
+// Walk visits c and every descendant in creation order.
+func (c *Component) Walk(fn func(*Component)) {
+	fn(c)
+	for _, n := range c.order {
+		c.children[n].Walk(fn)
+	}
+}
+
+// Counter returns the metric counter (c.Path(), name).
+func (c *Component) Counter(name string) *stats.Counter {
+	return c.sim.Metrics().Counter(c.path, name)
+}
+
+// Gauge returns the metric gauge (c.Path(), name).
+func (c *Component) Gauge(name string) *stats.Gauge {
+	return c.sim.Metrics().Gauge(c.path, name)
+}
+
+// Source registers a snapshot-time metrics callback under the
+// component's path.
+func (c *Component) Source(fn func(stats.Emit)) {
+	c.sim.Metrics().Source(c.path, fn)
+}
+
 // Clock is a clock domain. Processes and threads attach to exactly one
 // clock and observe its rising edges.
 type Clock struct {
@@ -84,10 +244,23 @@ type Clock struct {
 	pausedUntil Time // if > next, edges are postponed (pausible clocking)
 
 	threads  []*thread
-	drives   []func()
-	resolves []func() bool
-	commits  []func()
-	monitors []func()
+	drives   []namedHook
+	resolves []namedResolver
+	commits  []namedHook
+	monitors []namedHook
+}
+
+// namedHook is a phase callback with an introspectable identity; the
+// name is conventionally the owning component's path (plus a suffix when
+// one component registers several hooks in a phase).
+type namedHook struct {
+	name string
+	fn   func()
+}
+
+type namedResolver struct {
+	name string
+	fn   func() bool
 }
 
 // AddClock creates a clock with the given period in picoseconds whose first
@@ -98,6 +271,7 @@ func (s *Simulator) AddClock(name string, period, phase Time) *Clock {
 	}
 	c := &Clock{sim: s, name: name, period: period, next: phase}
 	s.clocks = append(s.clocks, c)
+	s.orderedDirty = true
 	return c
 }
 
@@ -119,6 +293,9 @@ func (c *Clock) SetPeriod(p Time) {
 // Cycle returns the number of rising edges seen so far.
 func (c *Clock) Cycle() uint64 { return c.cycle }
 
+// Sim returns the owning simulator.
+func (c *Clock) Sim() *Simulator { return c.sim }
+
 // Pause postpones the clock's next rising edge until at least t. Pausible
 // bisynchronous FIFOs use this to stretch a receiver clock while a
 // synchronization conflict window is open.
@@ -137,18 +314,77 @@ func (c *Clock) nextEdge() Time {
 }
 
 // AtDrive registers f to run in the drive phase of every edge.
-func (c *Clock) AtDrive(f func()) { c.drives = append(c.drives, f) }
+func (c *Clock) AtDrive(f func()) { c.AtDriveNamed("", f) }
+
+// AtDriveNamed registers a named drive-phase hook.
+func (c *Clock) AtDriveNamed(name string, f func()) {
+	c.drives = append(c.drives, namedHook{name: name, fn: f})
+}
 
 // AtResolve registers f in the combinational resolve phase. f must return
 // true if it changed any visible signal; the kernel iterates all resolvers
 // until a full pass makes no changes.
-func (c *Clock) AtResolve(f func() bool) { c.resolves = append(c.resolves, f) }
+func (c *Clock) AtResolve(f func() bool) { c.AtResolveNamed("", f) }
+
+// AtResolveNamed registers a named resolve-phase hook.
+func (c *Clock) AtResolveNamed(name string, f func() bool) {
+	c.resolves = append(c.resolves, namedResolver{name: name, fn: f})
+}
 
 // AtCommit registers f to run in the commit (state-latch) phase.
-func (c *Clock) AtCommit(f func()) { c.commits = append(c.commits, f) }
+func (c *Clock) AtCommit(f func()) { c.AtCommitNamed("", f) }
+
+// AtCommitNamed registers a named commit-phase hook.
+func (c *Clock) AtCommitNamed(name string, f func()) {
+	c.commits = append(c.commits, namedHook{name: name, fn: f})
+}
 
 // AtMonitor registers an observation-only hook that runs after commit.
-func (c *Clock) AtMonitor(f func()) { c.monitors = append(c.monitors, f) }
+func (c *Clock) AtMonitor(f func()) { c.AtMonitorNamed("", f) }
+
+// AtMonitorNamed registers a named monitor-phase hook.
+func (c *Clock) AtMonitorNamed(name string, f func()) {
+	c.monitors = append(c.monitors, namedHook{name: name, fn: f})
+}
+
+// ProcessInfo describes one registered process or hook for introspection.
+type ProcessInfo struct {
+	Clock string // owning clock's name
+	Phase string // "thread", "drive", "resolve", "commit", or "monitor"
+	Name  string // process name; "" for an anonymous hook
+}
+
+// Processes returns every process and hook registered on the clock, in
+// phase then registration order.
+func (c *Clock) Processes() []ProcessInfo {
+	var out []ProcessInfo
+	for _, th := range c.threads {
+		out = append(out, ProcessInfo{Clock: c.name, Phase: "thread", Name: th.name})
+	}
+	for _, h := range c.drives {
+		out = append(out, ProcessInfo{Clock: c.name, Phase: "drive", Name: h.name})
+	}
+	for _, h := range c.resolves {
+		out = append(out, ProcessInfo{Clock: c.name, Phase: "resolve", Name: h.name})
+	}
+	for _, h := range c.commits {
+		out = append(out, ProcessInfo{Clock: c.name, Phase: "commit", Name: h.name})
+	}
+	for _, h := range c.monitors {
+		out = append(out, ProcessInfo{Clock: c.name, Phase: "monitor", Name: h.name})
+	}
+	return out
+}
+
+// Processes returns every process and hook in the simulation across all
+// clocks, in clock registration order.
+func (s *Simulator) Processes() []ProcessInfo {
+	var out []ProcessInfo
+	for _, c := range s.clocks {
+		out = append(out, c.Processes()...)
+	}
+	return out
+}
 
 // Thread is the handle a coroutine process uses to synchronize with its
 // clock. All methods must be called only from the goroutine running the
@@ -165,6 +401,12 @@ type thread struct {
 	finished bool
 	started  bool
 	body     func(*Thread)
+
+	// Parking state, owned by the kernel while the thread is yielded. A
+	// parked thread is skipped — no goroutine handoff — until its
+	// condition holds at its scheduling slot.
+	parkN    uint64      // countdown parking (WaitN); resumes when it hits 0
+	parkPred func() bool // predicate parking (WaitFor); nil when not parked
 }
 
 // Spawn registers a coroutine process on clock c. The body starts running
@@ -187,11 +429,36 @@ func (t *Thread) Wait() {
 	<-t.t.resume
 }
 
-// WaitN suspends the thread for n rising edges.
+// WaitN suspends the thread for n rising edges. The kernel counts the
+// edges down without resuming the goroutine, so a long WaitN costs one
+// handoff instead of n.
 func (t *Thread) WaitN(n int) {
-	for i := 0; i < n; i++ {
-		t.Wait()
+	if n <= 0 {
+		return
 	}
+	t.t.parkN = uint64(n)
+	t.Wait()
+}
+
+// WaitFor parks the thread until pred holds. The kernel evaluates pred at
+// the thread's scheduling slot on each subsequent edge and resumes the
+// goroutine only when it returns true, skipping the handoff entirely on
+// idle edges. Like Wait, it always suspends for at least one edge, so
+//
+//	th.WaitFor(ready)
+//
+// observes exactly the same cycle as the polling loop
+//
+//	for { th.Wait(); if ready() { break } }
+//
+// pred runs on the kernel goroutine between thread resumptions; it must
+// only read simulation state and must not panic.
+func (t *Thread) WaitFor(pred func() bool) {
+	if pred == nil {
+		panic("sim: WaitFor(nil) by thread " + t.t.name)
+	}
+	t.t.parkPred = pred
+	t.Wait()
 }
 
 // Clock returns the clock the thread is bound to.
@@ -229,21 +496,31 @@ func (c *Clock) runEdge() {
 	c.cycle++
 	c.sim.totalEdges++
 
-	// Phase 1: threads, in registration order.
+	// Phase 1: threads, in registration order. Parked threads are
+	// serviced at their slot without a goroutine handoff.
 	for _, th := range c.threads {
 		if th.finished {
 			continue
 		}
 		if !th.started {
 			th.start()
+		} else if th.parkN > 0 {
+			if th.parkN--; th.parkN > 0 {
+				continue
+			}
+		} else if th.parkPred != nil {
+			if !th.parkPred() {
+				continue
+			}
+			th.parkPred = nil
 		}
 		th.resume <- struct{}{}
 		<-th.yield
 	}
 
 	// Phase 2: drive.
-	for _, f := range c.drives {
-		f()
+	for i := range c.drives {
+		c.drives[i].fn()
 	}
 
 	// Phase 3: combinational resolve to fixpoint.
@@ -251,8 +528,8 @@ func (c *Clock) runEdge() {
 		limit := len(c.resolves)*len(c.resolves) + 16
 		for iter := 0; ; iter++ {
 			changed := false
-			for _, f := range c.resolves {
-				if f() {
+			for i := range c.resolves {
+				if c.resolves[i].fn() {
 					changed = true
 				}
 			}
@@ -266,13 +543,13 @@ func (c *Clock) runEdge() {
 	}
 
 	// Phase 4: commit.
-	for _, f := range c.commits {
-		f()
+	for i := range c.commits {
+		c.commits[i].fn()
 	}
 
 	// Phase 5: monitors.
-	for _, f := range c.monitors {
-		f()
+	for i := range c.monitors {
+		c.monitors[i].fn()
 	}
 
 	c.next = c.sim.now + c.period
@@ -281,32 +558,37 @@ func (c *Clock) runEdge() {
 	}
 }
 
-// Step advances to the next clock edge (or coincident group of edges) and
-// processes it. It returns false when there are no clocks or the simulator
-// has stopped.
-func (s *Simulator) Step() bool {
-	if s.stopped || len(s.clocks) == 0 {
-		return false
-	}
+// nextEventTime returns the earliest pending edge time across all clocks
+// (Infinity when there are none). Run and Step share this scan.
+func (s *Simulator) nextEventTime() Time {
 	t := Infinity
 	for _, c := range s.clocks {
 		if e := c.nextEdge(); e < t {
 			t = e
 		}
 	}
-	if t == Infinity {
-		return false
-	}
+	return t
+}
+
+// stepAt fires every clock whose edge is due at t, in stable name order
+// for reproducibility independent of registration order.
+func (s *Simulator) stepAt(t Time) bool {
 	s.now = t
-	// Fire all clocks whose edge is due, in stable name order for
-	// reproducibility independent of registration order.
-	due := make([]*Clock, 0, len(s.clocks))
-	for _, c := range s.clocks {
+	if s.orderedDirty {
+		s.ordered = append(s.ordered[:0], s.clocks...)
+		sort.Slice(s.ordered, func(i, j int) bool { return s.ordered[i].name < s.ordered[j].name })
+		s.orderedDirty = false
+	}
+	// The due set is fixed before any edge runs: a clock paused by
+	// another clock's edge at t still fires this step (its postponement
+	// affects the following edge), matching pausible-clocking semantics.
+	due := s.due[:0]
+	for _, c := range s.ordered {
 		if c.nextEdge() == t {
 			due = append(due, c)
 		}
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i].name < due[j].name })
+	s.due = due
 	for _, c := range due {
 		if s.stopped {
 			break
@@ -316,19 +598,48 @@ func (s *Simulator) Step() bool {
 	return !s.stopped
 }
 
+// Step advances to the next clock edge (or coincident group of edges) and
+// processes it. It returns false when there are no clocks or the simulator
+// has stopped.
+func (s *Simulator) Step() bool {
+	if s.stopped || len(s.clocks) == 0 {
+		return false
+	}
+	if len(s.clocks) == 1 {
+		// Single-clock fast path: no scan, no due list.
+		c := s.clocks[0]
+		s.now = c.nextEdge()
+		c.runEdge()
+		return !s.stopped
+	}
+	t := s.nextEventTime()
+	if t == Infinity {
+		return false
+	}
+	return s.stepAt(t)
+}
+
 // Run advances the simulation until maxTime (exclusive) or Stop.
 func (s *Simulator) Run(maxTime Time) {
-	for !s.stopped {
-		t := Infinity
-		for _, c := range s.clocks {
-			if e := c.nextEdge(); e < t {
-				t = e
+	if len(s.clocks) == 1 {
+		// Single-clock fast path: one edge-time comparison per step.
+		c := s.clocks[0]
+		for !s.stopped {
+			t := c.nextEdge()
+			if t >= maxTime {
+				return
 			}
+			s.now = t
+			c.runEdge()
 		}
+		return
+	}
+	for !s.stopped {
+		t := s.nextEventTime()
 		if t >= maxTime {
 			return
 		}
-		if !s.Step() {
+		if !s.stepAt(t) {
 			return
 		}
 	}
@@ -344,7 +655,13 @@ func (s *Simulator) RunCycles(c *Clock, n uint64) {
 // Drain retires all threads by resuming them until they finish, bounded by
 // limit edges. It is used by tests to shut a simulation down cleanly; a
 // thread that never returns is simply abandoned when the test ends.
+//
+// Draining steps past a pending Stop, but the stop request is not lost: a
+// simulator stopped before (or during) Drain is still stopped when it
+// returns.
 func (s *Simulator) Drain(limit uint64) {
+	wasStopped := s.stopped
+	defer func() { s.stopped = s.stopped || wasStopped }()
 	for i := uint64(0); i < limit; i++ {
 		alive := false
 		for _, c := range s.clocks {

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"time"
@@ -18,6 +19,11 @@ type Fig6Row struct {
 	RTLWall     time.Duration
 	Speedup     float64 // RTL wall / TLM wall
 	CycleErrPct float64 // (RTL-TLM)/RTL elapsed-cycle difference
+
+	// Machine-readable metrics snapshots (stats JSON dumps of the whole
+	// component tree), for downstream consumers like cmd/benchfig.
+	TLMStats []byte
+	RTLStats []byte
 }
 
 // RunFig6 executes every SoC test in both modes and measures elapsed
@@ -27,7 +33,7 @@ func RunFig6(maxCycles uint64) ([]Fig6Row, error) {
 	for _, tc := range Tests() {
 		row := Fig6Row{Test: tc.Name}
 
-		run := func(mode connections.Mode) (uint64, time.Duration, error) {
+		run := func(mode connections.Mode) (uint64, time.Duration, []byte, error) {
 			cfg := DefaultConfig()
 			cfg.Mode = mode
 			cfg.ShadowNetlists = true // full RTL-cosim cost in RTL mode
@@ -36,18 +42,22 @@ func RunFig6(maxCycles uint64) ([]Fig6Row, error) {
 			cycles, err := s.Run(maxCycles)
 			wall := time.Since(start)
 			if err != nil {
-				return 0, 0, fmt.Errorf("%s/%v: %w", tc.Name, mode, err)
+				return 0, 0, nil, fmt.Errorf("%s/%v: %w", tc.Name, mode, err)
 			}
 			if err := verify(s); err != nil {
-				return 0, 0, err
+				return 0, 0, nil, err
 			}
-			return cycles, wall, nil
+			var dump bytes.Buffer
+			if err := s.Sim.Metrics().WriteJSON(&dump); err != nil {
+				return 0, 0, nil, err
+			}
+			return cycles, wall, dump.Bytes(), nil
 		}
 		var err error
-		if row.TLMCycles, row.TLMWall, err = run(connections.ModeSimAccurate); err != nil {
+		if row.TLMCycles, row.TLMWall, row.TLMStats, err = run(connections.ModeSimAccurate); err != nil {
 			return nil, err
 		}
-		if row.RTLCycles, row.RTLWall, err = run(connections.ModeRTLCosim); err != nil {
+		if row.RTLCycles, row.RTLWall, row.RTLStats, err = run(connections.ModeRTLCosim); err != nil {
 			return nil, err
 		}
 		row.Speedup = float64(row.RTLWall) / float64(row.TLMWall)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/matchlib"
 	"repro/internal/noc"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // MaxPayloadWords is the DMA packetization limit: larger transfers are
@@ -54,7 +55,17 @@ func newMemNode(clk *sim.Clock, name string, id, words, banks int,
 		eject:  eject,
 		doneQ:  matchlib.NewFIFO[int](64),
 	}
-	clk.Spawn(name+".handler", func(th *sim.Thread) { n.run(th) })
+	clk.Spawn(name+"/handler", func(th *sim.Thread) { n.run(th) })
+	clk.Sim().Component(name).Source(func(emit stats.Emit) {
+		emit("writes_in", float64(n.Stats.WritesIn))
+		emit("reads_out", float64(n.Stats.ReadsOut))
+		emit("kernels", float64(n.Stats.Kernels))
+		emit("packets_in", float64(n.Stats.PacketsIn))
+		emit("packets_out", float64(n.Stats.PacketsOut))
+		r, w := n.Mem.Accesses()
+		emit("mem_reads", float64(r))
+		emit("mem_writes", float64(w))
+	})
 	return n
 }
 

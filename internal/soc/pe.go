@@ -11,6 +11,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/rtl"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/synth"
 )
 
@@ -64,7 +65,7 @@ func newPE(clk *sim.Clock, name string, id, scratchWords, lanes int, mode connec
 		var tick uint64
 		in0 := map[string]uint64{}
 		in1 := map[string]uint64{}
-		clk.AtDrive(func() {
+		clk.AtDriveNamed(name+"/shadow_mac", func() {
 			tick++
 			in0["a"] = tick * 0x9e3779b9
 			in0["b"] = tick ^ uint64(id)<<16
@@ -77,6 +78,9 @@ func newPE(clk *sim.Clock, name string, id, scratchWords, lanes int, mode connec
 		})
 		pe.gateSim = lane0
 	}
+	clk.Sim().Component(name).Source(func(emit stats.Emit) {
+		emit("gate_toggles", float64(pe.GateToggles()))
+	})
 	return pe
 }
 

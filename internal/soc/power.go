@@ -65,7 +65,22 @@ func (s *SoC) PowerEstimate(cycles uint64, freqMHz float64) PowerBreakdown {
 	pb.RVMW = float64(s.RV.CPU.Instret) * pjPerRVInstr / float64(cycles) * perCycleToMW
 	pb.LeakMW = float64(socGateCount) * m.LeakNWPerGate / 1e6
 	pb.TotalMW = pb.PEsMW + pb.NoCMW + pb.SRAMMW + pb.RVMW + pb.LeakMW
+	pb.publish(s)
 	return pb
+}
+
+// publish mirrors the breakdown into the metrics registry under
+// soc/power, so the estimate appears in the unified stats dump alongside
+// the activity counters it was derived from.
+func (pb PowerBreakdown) publish(s *SoC) {
+	reg := s.Sim.Metrics()
+	reg.Gauge("soc/power", "pes_mw").Set(pb.PEsMW)
+	reg.Gauge("soc/power", "noc_mw").Set(pb.NoCMW)
+	reg.Gauge("soc/power", "sram_mw").Set(pb.SRAMMW)
+	reg.Gauge("soc/power", "rv_mw").Set(pb.RVMW)
+	reg.Gauge("soc/power", "leak_mw").Set(pb.LeakMW)
+	reg.Gauge("soc/power", "total_mw").Set(pb.TotalMW)
+	reg.Gauge("soc/power", "freq_mhz").Set(pb.FreqMHz)
 }
 
 // Print renders the breakdown.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/riscv"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Memory-mapped IO addresses of the RISC-V global controller.
@@ -78,7 +79,7 @@ func newRVNode(clk *sim.Clock, name string, id, ramWords int, program []uint32,
 
 	// Network handler: incoming writes land in RAM (low 32 bits of each
 	// word), done messages increment the mailbox counter.
-	clk.Spawn(name+".nochandler", func(th *sim.Thread) {
+	clk.Spawn(name+"/nochandler", func(th *sim.Thread) {
 		for {
 			pkt := r.eject.Pop(th)
 			d := decode(pkt)
@@ -109,7 +110,7 @@ func newRVNode(clk *sim.Clock, name string, id, ramWords int, program []uint32,
 	})
 
 	// The hart: one instruction per cycle.
-	clk.Spawn(name+".hart", func(th *sim.Thread) {
+	clk.Spawn(name+"/hart", func(th *sim.Thread) {
 		r.th = th
 		for !r.CPU.Halted {
 			if err := r.CPU.Step(r); err != nil {
@@ -117,6 +118,12 @@ func newRVNode(clk *sim.Clock, name string, id, ramWords int, program []uint32,
 			}
 			th.Wait()
 		}
+	})
+	clk.Sim().Component(name).Source(func(emit stats.Emit) {
+		emit("instret", float64(r.CPU.Instret))
+		emit("done_count", float64(r.doneCount))
+		emit("axi_txns", float64(r.axiTxns))
+		emit("exit_code", float64(r.ExitCode))
 	})
 	return r
 }

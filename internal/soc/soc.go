@@ -129,31 +129,32 @@ func New(cfg Config, firmware []uint32) *SoC {
 		opts = append(opts, connections.WithStall(cfg.StallP, cfg.StallP, cfg.StallSeed))
 	}
 
-	// Routers and NIs, one per node, on the node's clock.
+	// Routers and NIs, one per node, on the node's clock. Components use
+	// the repo-wide hierarchical path scheme (soc/noc/r[3]).
 	nis := make([]*noc.NI, NumNodes)
 	for i := 0; i < NumNodes; i++ {
 		clk := clockOf[i]
 		x, y := i%MeshW, i/MeshW
-		r := noc.NewWHVCRouter(clk, fmt.Sprintf("r%d", i), 5, cfg.VCs, noc.XYRoute(MeshW, x, y), nil)
+		r := noc.NewWHVCRouter(clk, fmt.Sprintf("soc/noc/r[%d]", i), 5, cfg.VCs, noc.XYRoute(MeshW, x, y), nil)
 		s.Routers = append(s.Routers, r)
 		// VC selection pins each (src,dst) flow to one VC so that DMA
 		// chunk streams stay ordered end to end; different flows still
 		// spread across VCs.
-		ni := noc.NewNI(clk, fmt.Sprintf("ni%d", i), i, cfg.VCs, func(p noc.Packet) int { return (p.Src + p.Dst) % cfg.VCs })
+		ni := noc.NewNI(clk, fmt.Sprintf("soc/noc/ni[%d]", i), i, cfg.VCs, func(p noc.Packet) int { return (p.Src + p.Dst) % cfg.VCs })
 		nis[i] = ni
-		linkSame(clk, fmt.Sprintf("l%d.in", i), cfg.LinkDepth, ni.FlitOut, r.In[noc.PortLocal], opts)
-		linkSame(clk, fmt.Sprintf("l%d.out", i), cfg.LinkDepth, r.Out[noc.PortLocal], ni.FlitIn, opts)
+		linkSame(clk, fmt.Sprintf("soc/noc/l[%d]/in", i), cfg.LinkDepth, ni.FlitOut, r.In[noc.PortLocal], opts)
+		linkSame(clk, fmt.Sprintf("soc/noc/l[%d]/out", i), cfg.LinkDepth, r.Out[noc.PortLocal], ni.FlitIn, opts)
 	}
 
 	// Inter-router links: same-clock buffers or pausible CDC pairs.
 	link := func(i, pi, j, pj int) {
-		name := fmt.Sprintf("lnk%d.%d-%d.%d", i, pi, j, pj)
+		name := fmt.Sprintf("soc/noc/lnk[%d.%d-%d.%d]", i, pi, j, pj)
 		if clockOf[i] == clockOf[j] {
 			linkSame(clockOf[i], name, cfg.LinkDepth, s.Routers[i].Out[pi], s.Routers[j].In[pj], opts)
 			return
 		}
 		for v := 0; v < cfg.VCs; v++ {
-			f := cdcLink(s.Sim, fmt.Sprintf("%s.vc%d", name, v), clockOf[i], clockOf[j],
+			f := cdcLink(s.Sim, fmt.Sprintf("%s/vc[%d]", name, v), clockOf[i], clockOf[j],
 				s.Routers[i].Out[pi][v], s.Routers[j].In[pj][v], cfg.LinkDepth, opts)
 			pauses = append(pauses, f)
 		}
@@ -164,52 +165,53 @@ func New(cfg Config, firmware []uint32) *SoC {
 			link(i, noc.PortEast, i+1, noc.PortWest)
 			link(i+1, noc.PortWest, i, noc.PortEast)
 		} else {
-			terminate(clockOf[i], fmt.Sprintf("t%d.e", i), s.Routers[i].Out[noc.PortEast], s.Routers[i].In[noc.PortEast])
+			terminate(clockOf[i], fmt.Sprintf("soc/noc/term[%d]/e", i), s.Routers[i].Out[noc.PortEast], s.Routers[i].In[noc.PortEast])
 		}
 		if y+1 < MeshH {
 			link(i, noc.PortSouth, i+MeshW, noc.PortNorth)
 			link(i+MeshW, noc.PortNorth, i, noc.PortSouth)
 		} else {
-			terminate(clockOf[i], fmt.Sprintf("t%d.s", i), s.Routers[i].Out[noc.PortSouth], s.Routers[i].In[noc.PortSouth])
+			terminate(clockOf[i], fmt.Sprintf("soc/noc/term[%d]/s", i), s.Routers[i].Out[noc.PortSouth], s.Routers[i].In[noc.PortSouth])
 		}
 		if x == 0 {
-			terminate(clockOf[i], fmt.Sprintf("t%d.w", i), s.Routers[i].Out[noc.PortWest], s.Routers[i].In[noc.PortWest])
+			terminate(clockOf[i], fmt.Sprintf("soc/noc/term[%d]/w", i), s.Routers[i].Out[noc.PortWest], s.Routers[i].In[noc.PortWest])
 		}
 		if y == 0 {
-			terminate(clockOf[i], fmt.Sprintf("t%d.n", i), s.Routers[i].Out[noc.PortNorth], s.Routers[i].In[noc.PortNorth])
+			terminate(clockOf[i], fmt.Sprintf("soc/noc/term[%d]/n", i), s.Routers[i].Out[noc.PortNorth], s.Routers[i].In[noc.PortNorth])
 		}
 	}
 
-	// Node engines behind the NIs.
+	// Node engines behind the NIs, registered under soc/<node>.
 	endpoints := func(i int) (*connections.Out[noc.Packet], *connections.In[noc.Packet]) {
 		clk := clockOf[i]
+		base := "soc/" + nodeName(i)
 		inj, ej := connections.NewOut[noc.Packet](), connections.NewIn[noc.Packet]()
-		c1 := connections.Buffer(clk, fmt.Sprintf("inj%d", i), 2, inj, nis[i].PktIn, opts...)
-		c2 := connections.Buffer(clk, fmt.Sprintf("ej%d", i), 2, nis[i].PktOut, ej, opts...)
+		c1 := connections.Buffer(clk, base+"/inject", 2, inj, nis[i].PktIn, opts...)
+		c2 := connections.Buffer(clk, base+"/eject", 2, nis[i].PktOut, ej, opts...)
 		s.pktChans = append(s.pktChans,
-			tracedChan{fmt.Sprintf("node%d.inject", i), c1},
-			tracedChan{fmt.Sprintf("node%d.eject", i), c2})
+			tracedChan{base + "/inject", c1},
+			tracedChan{base + "/eject", c2})
 		return inj, ej
 	}
 	for i := 0; i < NumPEs; i++ {
 		inj, ej := endpoints(i)
-		s.PEs = append(s.PEs, newPE(clockOf[i], fmt.Sprintf("pe%d", i), i, cfg.ScratchWords, cfg.VecLanes, cfg.Mode, cfg.ShadowNetlists, inj, ej))
+		s.PEs = append(s.PEs, newPE(clockOf[i], fmt.Sprintf("soc/pe[%d]", i), i, cfg.ScratchWords, cfg.VecLanes, cfg.Mode, cfg.ShadowNetlists, inj, ej))
 	}
 	{
 		inj, ej := endpoints(NodeGML)
-		s.GML = newMemNode(clockOf[NodeGML], "gml", NodeGML, cfg.GMWords, 8, inj, ej)
+		s.GML = newMemNode(clockOf[NodeGML], "soc/gml", NodeGML, cfg.GMWords, 8, inj, ej)
 	}
 	{
 		inj, ej := endpoints(NodeGMR)
-		s.GMR = newMemNode(clockOf[NodeGMR], "gmr", NodeGMR, cfg.GMWords, 8, inj, ej)
+		s.GMR = newMemNode(clockOf[NodeGMR], "soc/gmr", NodeGMR, cfg.GMWords, 8, inj, ej)
 	}
 	{
 		inj, ej := endpoints(NodeIO)
-		s.IO = newMemNode(clockOf[NodeIO], "io", NodeIO, cfg.GMWords/4, 4, inj, ej)
+		s.IO = newMemNode(clockOf[NodeIO], "soc/io", NodeIO, cfg.GMWords/4, 4, inj, ej)
 	}
 	{
 		inj, ej := endpoints(NodeRV)
-		s.RV = newRVNode(clockOf[NodeRV], "rv", NodeRV, cfg.RAMWords, firmware, inj, ej)
+		s.RV = newRVNode(clockOf[NodeRV], "soc/rv", NodeRV, cfg.RAMWords, firmware, inj, ej)
 	}
 
 	// The Figure 5 AXI bus: the controller reaches both global-memory
@@ -218,15 +220,15 @@ func New(cfg Config, firmware []uint32) *SoC {
 	// the RISC-V partition's clock domain.
 	{
 		clk := clockOf[NodeRV]
-		ic := axi.NewInterconnect(clk, "axibus", 1, []axi.Region{
+		ic := axi.NewInterconnect(clk, "soc/axi/bus", 1, []axi.Region{
 			{Base: 0, Size: cfg.GMWords, Slave: 0},
 			{Base: cfg.GMWords, Size: cfg.GMWords, Slave: 1},
 		})
-		axi.Connect(clk, "axibus.m0", 2, s.RV.axiPort(2*cfg.GMWords), ic.MasterPorts[0], opts...)
-		sl := axi.NewMemSlaveBacked(clk, "axibus.gml", s.GML.Mem)
-		sr := axi.NewMemSlaveBacked(clk, "axibus.gmr", s.GMR.Mem)
-		axi.Connect(clk, "axibus.s0", 2, ic.SlavePorts[0], sl.Port, opts...)
-		axi.Connect(clk, "axibus.s1", 2, ic.SlavePorts[1], sr.Port, opts...)
+		axi.Connect(clk, "soc/axi/m0", 2, s.RV.axiPort(2*cfg.GMWords), ic.MasterPorts[0], opts...)
+		sl := axi.NewMemSlaveBacked(clk, "soc/axi/gml", s.GML.Mem)
+		sr := axi.NewMemSlaveBacked(clk, "soc/axi/gmr", s.GMR.Mem)
+		axi.Connect(clk, "soc/axi/s0", 2, ic.SlavePorts[0], sl.Port, opts...)
+		axi.Connect(clk, "soc/axi/s1", 2, ic.SlavePorts[1], sr.Port, opts...)
 	}
 
 	s.Pauses = func() uint64 {
@@ -257,18 +259,34 @@ func (s *SoC) Run(maxCycles uint64) (uint64, error) {
 	return s.RVClk.Cycle() - start, nil
 }
 
+// nodeName returns the node's component path segment under "soc".
+func nodeName(i int) string {
+	switch i {
+	case NodeGML:
+		return "gml"
+	case NodeGMR:
+		return "gmr"
+	case NodeRV:
+		return "rv"
+	case NodeIO:
+		return "io"
+	default:
+		return fmt.Sprintf("pe[%d]", i)
+	}
+}
+
 // linkSame binds per-VC ports on one clock.
 func linkSame(clk *sim.Clock, name string, depth int, out []*connections.Out[noc.Flit], in []*connections.In[noc.Flit], opts []connections.Option) {
 	for v := range out {
-		connections.Buffer(clk, fmt.Sprintf("%s.vc%d", name, v), depth, out[v], in[v], opts...)
+		connections.Buffer(clk, fmt.Sprintf("%s/vc[%d]", name, v), depth, out[v], in[v], opts...)
 	}
 }
 
 // terminate stubs an unused edge port.
 func terminate(clk *sim.Clock, name string, out []*connections.Out[noc.Flit], in []*connections.In[noc.Flit]) {
 	for v := range out {
-		connections.Buffer(clk, fmt.Sprintf("%s.o%d", name, v), 1, out[v], connections.NewIn[noc.Flit]())
-		connections.Buffer(clk, fmt.Sprintf("%s.i%d", name, v), 1, connections.NewOut[noc.Flit](), in[v])
+		connections.Buffer(clk, fmt.Sprintf("%s/o[%d]", name, v), 1, out[v], connections.NewIn[noc.Flit]())
+		connections.Buffer(clk, fmt.Sprintf("%s/i[%d]", name, v), 1, connections.NewOut[noc.Flit](), in[v])
 	}
 }
 
@@ -278,9 +296,9 @@ func terminate(clk *sim.Clock, name string, out []*connections.Out[noc.Flit], in
 func cdcLink(s *sim.Simulator, name string, clkA, clkB *sim.Clock,
 	out *connections.Out[noc.Flit], in *connections.In[noc.Flit], depth int, opts []connections.Option) *gals.PausibleBisyncFIFO[noc.Flit] {
 	aIn := connections.NewIn[noc.Flit]()
-	connections.Buffer(clkA, name+".a", 2, out, aIn, opts...)
+	connections.Buffer(clkA, name+"/a", 2, out, aIn, opts...)
 	fifo := gals.NewPausibleBisyncFIFO[noc.Flit](s, name, clkA, clkB, depth, 40)
-	clkA.Spawn(name+".tx", func(th *sim.Thread) {
+	clkA.Spawn(name+"/tx", func(th *sim.Thread) {
 		for {
 			f := aIn.Pop(th)
 			fifo.Push(th, f)
@@ -288,8 +306,8 @@ func cdcLink(s *sim.Simulator, name string, clkA, clkB *sim.Clock,
 		}
 	})
 	bOut := connections.NewOut[noc.Flit]()
-	connections.Buffer(clkB, name+".b", 2, bOut, in, opts...)
-	clkB.Spawn(name+".rx", func(th *sim.Thread) {
+	connections.Buffer(clkB, name+"/b", 2, bOut, in, opts...)
+	clkB.Spawn(name+"/rx", func(th *sim.Thread) {
 		for {
 			f := fifo.Pop(th)
 			bOut.Push(th, f)

@@ -305,7 +305,7 @@ func TestTraceChannels(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	for _, want := range []string{"node0.inject.occ", "node19.eject.valid", "$enddefinitions"} {
+	for _, want := range []string{"soc/pe[0]/inject.occ", "soc/io/eject.valid", "$enddefinitions"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("SoC trace missing %q", want)
 		}

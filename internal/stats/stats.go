@@ -1,0 +1,240 @@
+// Package stats is the unified metrics layer shared by every simulated
+// component. Counters and gauges are keyed by a hierarchical component
+// path (e.g. "soc/pe[3]/inject") plus a metric name, so one registry
+// holds channel traffic counters, NoC link counters, SoC activity
+// counters, power estimates, and verification coverage under a single
+// naming scheme (DESIGN.md §3).
+//
+// Path naming scheme: paths are "/"-separated segments from the design
+// root; replicated elements use a bracketed index segment ("pe[3]",
+// "r[12]"); metric names are lower_snake_case. A component that keeps
+// its own compact counter struct for the hot path can expose it through
+// a Source callback instead of registry-allocated counters — the
+// registry polls sources only when a snapshot is taken, so steady-state
+// simulation cost is zero.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing metric. It is a bare word with
+// no synchronization: the simulation kernel serializes all component
+// execution, so counters are only ever touched from one goroutine at a
+// time.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is a last-value-wins metric (occupancies, power figures).
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.v = x }
+
+// Add adjusts the gauge value by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Metric is one (path, name, value) sample in a snapshot.
+type Metric struct {
+	Path  string  `json:"path"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Emit is the callback handed to Source functions at snapshot time.
+type Emit func(name string, value float64)
+
+// EmitAt is the callback handed to TreeSource functions at snapshot
+// time; unlike Emit it may target any component path.
+type EmitAt func(path, name string, value float64)
+
+type metricKey struct{ path, name string }
+
+// Registry is the per-simulation metric store. All methods are intended
+// for single-goroutine use from simulation code (the kernel serializes
+// component execution).
+type Registry struct {
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	sources  []source
+}
+
+type source struct {
+	path string      // fixed path; "" for tree sources
+	fn   func(Emit)  // fixed-path source
+	tree func(EmitAt) // free-path source
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+	}
+}
+
+// Counter returns the counter registered at (path, name), creating it
+// on first use. The same pointer is returned for repeated calls, so
+// components can cache it for the hot path.
+func (r *Registry) Counter(path, name string) *Counter {
+	k := metricKey{path, name}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered at (path, name), creating it on
+// first use.
+func (r *Registry) Gauge(path, name string) *Gauge {
+	k := metricKey{path, name}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Source registers a callback that contributes metrics under path each
+// time a snapshot is taken. Components that keep compact internal
+// counter structs use this to surface them without per-event registry
+// traffic.
+func (r *Registry) Source(path string, fn func(Emit)) {
+	r.sources = append(r.sources, source{path: path, fn: fn})
+}
+
+// TreeSource registers a callback that may contribute metrics at any
+// path; the kernel uses this for components enumerated only at snapshot
+// time (clock domains, process tables).
+func (r *Registry) TreeSource(fn func(EmitAt)) {
+	r.sources = append(r.sources, source{tree: fn})
+}
+
+// Snapshot polls every source and collects all counters and gauges into
+// a deterministic, path-then-name sorted metric list.
+func (r *Registry) Snapshot() []Metric {
+	var ms []Metric
+	for k, c := range r.counters {
+		ms = append(ms, Metric{Path: k.path, Name: k.name, Value: float64(c.n)})
+	}
+	for k, g := range r.gauges {
+		ms = append(ms, Metric{Path: k.path, Name: k.name, Value: g.v})
+	}
+	for _, s := range r.sources {
+		if s.tree != nil {
+			s.tree(func(path, name string, value float64) {
+				ms = append(ms, Metric{Path: path, Name: name, Value: value})
+			})
+			continue
+		}
+		path := s.path
+		s.fn(func(name string, value float64) {
+			ms = append(ms, Metric{Path: path, Name: name, Value: value})
+		})
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Path != ms[j].Path {
+			return ms[i].Path < ms[j].Path
+		}
+		return ms[i].Name < ms[j].Name
+	})
+	return ms
+}
+
+// Total sums metric name over every path that equals prefix or starts
+// with prefix+"/". An empty prefix sums over all paths.
+func (r *Registry) Total(prefix, name string) float64 {
+	return Total(r.Snapshot(), prefix, name)
+}
+
+// Total sums metric name in ms over every path matching prefix (equal,
+// or below it in the hierarchy). An empty prefix matches all paths.
+func Total(ms []Metric, prefix, name string) float64 {
+	var sum float64
+	for _, m := range ms {
+		if m.Name != name {
+			continue
+		}
+		if prefix == "" || m.Path == prefix || strings.HasPrefix(m.Path, prefix+"/") {
+			sum += m.Value
+		}
+	}
+	return sum
+}
+
+// Dump writes the snapshot as an indented component tree: one line per
+// path segment, metrics nested under their component. Zero-valued
+// metrics are included so the tree shape is stable across runs.
+func (r *Registry) Dump(w io.Writer) {
+	WriteTree(w, r.Snapshot())
+}
+
+// WriteTree renders a metric list (as produced by Snapshot or
+// ParseJSON) as the indented component tree used by `socsim -stats`.
+func WriteTree(w io.Writer, ms []Metric) {
+	var prev []string
+	for _, m := range ms {
+		segs := strings.Split(m.Path, "/")
+		if m.Path == "" {
+			segs = nil
+		}
+		// Print the path segments that differ from the previous metric's
+		// path, so each component appears once as a tree node.
+		common := 0
+		for common < len(segs) && common < len(prev) && segs[common] == prev[common] {
+			common++
+		}
+		for i := common; i < len(segs); i++ {
+			fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", i), segs[i])
+		}
+		prev = segs
+		fmt.Fprintf(w, "%s%s = %s\n", strings.Repeat("  ", len(segs)), m.Name, formatValue(m.Value))
+	}
+}
+
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// jsonDump is the machine-readable dump format consumed by cmd/benchfig.
+type jsonDump struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// WriteJSON writes the snapshot as the machine-readable dump format
+// ({"metrics":[{path,name,value},...]}) consumed by cmd/benchfig.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jsonDump{Metrics: r.Snapshot()})
+}
+
+// ParseJSON decodes a dump written by WriteJSON back into a metric list.
+func ParseJSON(data []byte) ([]Metric, error) {
+	var d jsonDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("stats: bad dump: %w", err)
+	}
+	return d.Metrics, nil
+}

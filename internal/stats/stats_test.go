@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeIdentity(t *testing.T) {
+	r := New()
+	c := r.Counter("a/b", "hits")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("a/b", "hits") != c {
+		t.Fatal("Counter did not return the cached pointer")
+	}
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	g := r.Gauge("a/b", "occ")
+	g.Set(1.5)
+	g.Add(0.5)
+	if r.Gauge("a/b", "occ") != g || g.Value() != 2 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	// Same name, different kind maps: counters and gauges don't collide.
+	if float64(r.Counter("a/b", "occ").Value()) == g.Value() {
+		t.Fatal("counter and gauge namespaces collided")
+	}
+}
+
+func TestSnapshotSortedAndPollsSources(t *testing.T) {
+	r := New()
+	r.Counter("b", "x").Inc()
+	r.Gauge("a", "y").Set(2)
+	n := 0.0
+	r.Source("c", func(emit Emit) { emit("dyn", n) })
+	r.TreeSource(func(emit EmitAt) { emit("a", "z", 9) })
+
+	n = 5
+	ms := r.Snapshot()
+	want := []Metric{{"a", "y", 2}, {"a", "z", 9}, {"b", "x", 1}, {"c", "dyn", 5}}
+	if len(ms) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", ms, want)
+	}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v (sorted path-then-name)", i, ms[i], want[i])
+		}
+	}
+	// Sources are polled per snapshot, not at registration.
+	n = 7
+	ms = r.Snapshot()
+	if ms[3].Value != 7 {
+		t.Fatalf("source not re-polled: %v", ms[3])
+	}
+}
+
+func TestTotalPrefixSemantics(t *testing.T) {
+	r := New()
+	r.Counter("soc/noc/r[0]", "flits").Add(3)
+	r.Counter("soc/noc/r[1]", "flits").Add(4)
+	r.Counter("soc/nocx", "flits").Add(100) // sibling, must not match "soc/noc"
+	r.Counter("soc/noc", "flits").Add(1)    // exact path matches
+	r.Counter("soc/noc/r[0]", "other").Add(50)
+
+	if got := r.Total("soc/noc", "flits"); got != 8 {
+		t.Fatalf("Total(soc/noc, flits) = %v, want 8", got)
+	}
+	if got := r.Total("", "flits"); got != 108 {
+		t.Fatalf("Total(\"\", flits) = %v, want 108", got)
+	}
+	if got := r.Total("soc/noc/r[2]", "flits"); got != 0 {
+		t.Fatalf("Total of absent path = %v, want 0", got)
+	}
+}
+
+func TestDumpTreeShape(t *testing.T) {
+	r := New()
+	r.Counter("soc/pe[0]", "kernels").Add(2)
+	r.Gauge("soc/pe[0]", "occ").Set(1.25)
+	r.Counter("soc/pe[1]", "kernels").Add(3)
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	want := "soc\n" +
+		"  pe[0]\n" +
+		"    kernels = 2\n" +
+		"    occ = 1.2500\n" +
+		"  pe[1]\n" +
+		"    kernels = 3\n"
+	if buf.String() != want {
+		t.Fatalf("dump:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("soc/noc/r[3]", "flits_out").Add(17)
+	r.Gauge("soc/power", "total_mw").Set(42.5)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"metrics"`) {
+		t.Fatalf("dump missing metrics key: %s", buf.String())
+	}
+	ms, err := ParseJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := r.Snapshot()
+	if len(ms) != len(orig) {
+		t.Fatalf("roundtrip lost metrics: %v vs %v", ms, orig)
+	}
+	for i := range orig {
+		if ms[i] != orig[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, ms[i], orig[i])
+		}
+	}
+	if Total(ms, "soc", "flits_out") != 17 {
+		t.Fatal("Total over parsed metrics broken")
+	}
+	if _, err := ParseJSON([]byte("{nope")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

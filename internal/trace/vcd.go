@@ -20,6 +20,8 @@ type VCD struct {
 	curTime    uint64
 	timeOpen   bool
 	err        error
+	samples    uint64
+	changes    uint64
 }
 
 // Signal is one traced wire or bus.
@@ -69,10 +71,12 @@ func (v *VCD) Sample(t uint64) {
 	if !v.headerDone {
 		v.writeHeader()
 	}
+	v.samples++
 	for _, s := range v.signals {
 		if !s.dirty {
 			continue
 		}
+		v.changes++
 		if !v.timeOpen || t != v.curTime {
 			v.printf("#%d\n", t)
 			v.curTime, v.timeOpen = t, true
@@ -88,6 +92,10 @@ func (v *VCD) Sample(t uint64) {
 
 // Err returns the first write error, if any.
 func (v *VCD) Err() error { return v.err }
+
+// Counts returns the number of Sample calls and value changes emitted so
+// far — the dump's activity summary, reported by the CLI tools.
+func (v *VCD) Counts() (samples, changes uint64) { return v.samples, v.changes }
 
 func (v *VCD) writeHeader() {
 	v.printf("$timescale 1ps $end\n$scope module top $end\n")

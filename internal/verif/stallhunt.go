@@ -30,6 +30,7 @@ func RunStallHunt(pStall float64, seed int64, messages int) StallHuntResult {
 	s := sim.New()
 	clk := s.AddClock("clk", 1000, 0)
 	cov := NewCoverage()
+	cov.Attach(s.Metrics(), "verif/coverage")
 	sb := NewScoreboard()
 
 	var opts []connections.Option

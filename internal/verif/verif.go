@@ -9,6 +9,8 @@ package verif
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/stats"
 )
 
 // Coverage counts named events — branch arms, FSM states, timing
@@ -29,6 +31,18 @@ func (c *Coverage) Count(name string) uint64 { return c.counts[name] }
 
 // Distinct returns the number of distinct events observed.
 func (c *Coverage) Distinct() int { return len(c.counts) }
+
+// Attach surfaces the coverage map through the unified metrics registry
+// at the given component path: every event appears as a metric named
+// after it, polled at snapshot time. Hit stays a plain map increment, so
+// attaching costs nothing during simulation.
+func (c *Coverage) Attach(reg *stats.Registry, path string) {
+	reg.Source(path, func(emit stats.Emit) {
+		for name, n := range c.counts {
+			emit(name, float64(n))
+		}
+	})
+}
 
 // Holes returns the events in `universe` that were never hit — the
 // coverage holes a verification team would chase.
