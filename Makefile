@@ -9,10 +9,11 @@ test: build
 	$(GO) test ./...
 
 # Fast correctness tier for scheduler/channel work: vet everything, then
-# race-test the packages whose concurrency the kernel refactor touches.
+# race-test the packages whose concurrency the kernel refactor touches
+# (plus the campaign runner's worker pool).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals
+	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -1,14 +1,23 @@
 // Command benchfig regenerates every table and figure of the paper's
 // evaluation from the simulation substrate:
 //
-//	benchfig -fig3     cycles/transaction, arbitrated crossbar (Figure 3)
-//	benchfig -fig6     SoC tests, TLM vs RTL cosim (Figure 6)
-//	benchfig -qor      HLS vs hand RTL ±10% table (§2.2)
-//	benchfig -xbar     src-loop vs dst-loop crossbar sweep (§2.4)
-//	benchfig -gals     pausible clocking latency + area overhead (§3.1)
-//	benchfig -backend  floorplan, clocking, 12-hour turnaround (§3, §4)
-//	benchfig -prod     gates/engineer-day estimate (§4)
-//	benchfig -all      everything
+//	benchfig -fig3       cycles/transaction, arbitrated crossbar (Figure 3)
+//	benchfig -fig6       SoC tests, TLM vs RTL cosim (Figure 6)
+//	benchfig -qor        HLS vs hand RTL ±10% table (§2.2)
+//	benchfig -xbar       src-loop vs dst-loop crossbar sweep (§2.4)
+//	benchfig -gals       pausible clocking latency + area overhead (§3.1)
+//	benchfig -backend    floorplan, clocking, 12-hour turnaround (§3, §4)
+//	benchfig -prod       gates/engineer-day estimate (§4)
+//	benchfig -noc        NoC load-latency characterization
+//	benchfig -stallhunt  §2.3 multi-seed stall-injection bug hunt
+//	benchfig -all        everything
+//
+// Experiment sections run on the internal/exp campaign runner:
+// -parallel N shards each campaign's jobs over N workers, -seed picks
+// the campaign seed every per-job stream is derived from, and
+// -json FILE writes the merged campaign metrics (including per-job
+// stats snapshots) as a stats JSON dump. Output is byte-identical for
+// any -parallel value at the same -seed, wall-time columns aside.
 package main
 
 import (
@@ -17,11 +26,13 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/gals"
 	"repro/internal/matchlib"
 	"repro/internal/noc"
 	"repro/internal/soc"
 	"repro/internal/stats"
+	"repro/internal/verif"
 )
 
 func main() {
@@ -33,17 +44,30 @@ func main() {
 	backend := flag.Bool("backend", false, "§3/§4 back-end reports")
 	prod := flag.Bool("prod", false, "§4 productivity estimate")
 	nocF := flag.Bool("noc", false, "NoC load-latency characterization")
+	stallhunt := flag.Bool("stallhunt", false, "§2.3 multi-seed stall-injection hunt")
 	all := flag.Bool("all", false, "run everything")
+	parallel := flag.Int("parallel", 1, "campaign worker-pool size")
+	seed := flag.Int64("seed", 7, "campaign seed (per-job seeds derive from it)")
+	jsonOut := flag.String("json", "", "write merged campaign metrics JSON to `file`")
 	flag.Parse()
 
-	if !(*fig3 || *fig6 || *qor || *xbar || *galsF || *backend || *prod || *nocF || *all) {
+	if !(*fig3 || *fig6 || *qor || *xbar || *galsF || *backend || *prod || *nocF || *stallhunt || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
 	flow := core.DefaultFlow()
 
+	var merged []stats.Metric
+	collect := func(s *exp.Summary) {
+		merged = append(merged, s.Metrics()...)
+		for _, f := range s.Failures() {
+			fmt.Fprintf(os.Stderr, "benchfig: %s/%s failed: %v\n", s.Name, f.Name, f.Err)
+		}
+	}
+
 	if *all || *fig3 {
-		rows := matchlib.RunFig3([]int{2, 4, 8, 16}, 300, 7)
+		rows, sum := matchlib.RunFig3Campaign([]int{2, 4, 8, 16}, 300, *seed, *parallel)
+		collect(sum)
 		matchlib.PrintFig3(os.Stdout, rows)
 		fmt.Println()
 	}
@@ -61,9 +85,12 @@ func main() {
 	}
 	if *all || *galsF {
 		fmt.Println("Fine-grained GALS (§3.1)")
-		e := gals.RunMarginExperiment(900, 0.10, 5_000_000, 11)
-		fmt.Printf("  adaptive clock generator: fixed %.1f MHz vs adaptive %.1f MHz (+%.1f%% margin recovered at 10%% droop)\n",
-			e.FixedMHz, e.AdaptiveMHz, e.GainPct)
+		pts, sum := gals.MarginSweep(900, []float64{0.05, 0.10, 0.15}, 5_000_000, *seed, *parallel)
+		collect(sum)
+		for _, p := range pts {
+			fmt.Printf("  adaptive clock generator at %2.0f%% droop: fixed %.1f MHz vs adaptive %.1f MHz (+%.1f%% margin recovered)\n",
+				100*p.Droop, p.FixedMHz, p.AdaptiveMHz, p.GainPct)
+		}
 		for _, g := range []int{100_000, 300_000, 500_000, 1_000_000, 2_000_000} {
 			o := gals.GALSOverhead(g, 2)
 			fmt.Printf("  %v\n", o)
@@ -84,17 +111,44 @@ func main() {
 		fmt.Println()
 	}
 	if *all || *nocF {
-		pts := noc.LoadLatencySweep(4, 4, []float64{0.02, 0.05, 0.10, 0.20, 0.40, 0.60}, 4000, 2, 7)
+		pts, sum := noc.LoadLatencyCampaign(4, 4, []float64{0.02, 0.05, 0.10, 0.20, 0.40, 0.60}, 4000, 2, *seed, *parallel)
+		collect(sum)
 		noc.PrintLoadLatency(os.Stdout, 4, 4, pts)
+		fmt.Println()
+	}
+	if *all || *stallhunt {
+		agg, sum := verif.RunStallHuntCampaign(0.30, 200, 8, *seed, *parallel)
+		collect(sum)
+		fmt.Println("Stall-injection bug hunt (§2.3), 8 stall seeds at p=0.30")
+		fmt.Printf("  bug exposed by %d/%d seeds (buggy corner reached by %d)\n",
+			agg.BugSeeds, len(agg.Results), agg.CornerSeeds)
+		fmt.Printf("  best timing-state coverage %d states; %d messages delivered in total\n",
+			agg.MaxTimingStates, agg.TotalDelivered)
+		nominal := verif.RunStallHunt(0, *seed, 200)
+		fmt.Printf("  nominal timing control: %d errors, corner covered: %v\n",
+			len(nominal.Errors), nominal.CornerCovered)
 		fmt.Println()
 	}
 	if *all || *fig6 {
 		fmt.Println("(Figure 6 runs full gate-level shadow cosimulation; this takes a minute)")
-		rows, err := soc.RunFig6(5_000_000)
-		check(err)
+		rows, sum := soc.RunFig6Campaign(5_000_000, *parallel)
+		check(sum.Err())
+		collect(sum)
 		soc.PrintFig6(os.Stdout, rows)
 		printFig6Activity(rows)
 		fmt.Println()
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		check(err)
+		stats.SortMetrics(merged)
+		err = stats.WriteMetricsJSON(f, merged)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		check(err)
+		fmt.Printf("wrote %d campaign metrics to %s\n", len(merged), *jsonOut)
 	}
 }
 

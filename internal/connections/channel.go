@@ -432,8 +432,12 @@ func (c *core[T]) commit() {
 	c.inflightBuf = c.inflightBuf[:n]
 
 	// Transmit from the skid when downstream capacity allows — the
-	// helper-thread behaviour of the paper's sim-accurate model.
-	for len(c.skid) > 0 && len(c.queue)+len(c.inflightBuf) < c.cap+c.latency {
+	// helper-thread behaviour of the paper's sim-accurate model. Entries
+	// still in the delay line count against the committed capacity:
+	// retiming registers cannot stall, so a message admitted into them
+	// must already have a queue slot reserved. Latency therefore never
+	// adds effective buffering.
+	for len(c.skid) > 0 && len(c.queue)+len(c.inflightBuf) < c.cap {
 		v := c.skid[0]
 		c.skid = c.skid[1:]
 		if c.latency == 0 {
@@ -443,8 +447,8 @@ func (c *core[T]) commit() {
 		}
 	}
 
-	if len(c.queue) > c.cap+c.latency {
-		panic(fmt.Sprintf("connections: channel %s overflow: %d > %d", c.name, len(c.queue), c.cap+c.latency))
+	if len(c.queue) > c.cap {
+		panic(fmt.Sprintf("connections: channel %s overflow: %d > %d", c.name, len(c.queue), c.cap))
 	}
 
 	// Roll stall injection for the next cycle.

@@ -210,6 +210,76 @@ func TestBufferBackpressure(t *testing.T) {
 	}
 }
 
+// Regression for the latency-capacity bug: a latency-L channel must not
+// gain L slots of effective buffering. With no consumer, a latency-2
+// Buffer must accept exactly as many pushes as a latency-0 one of the
+// same depth, and committed occupancy must never exceed the declared
+// capacity.
+func TestLatencyDoesNotAddCapacity(t *testing.T) {
+	fill := func(latency int) (pushed int, maxOcc int) {
+		s := sim.New()
+		clk := s.AddClock("clk", 1000, 0)
+		out, in := NewOut[int](), NewIn[int]()
+		ch := Buffer(clk, "ch", 2, out, in, WithLatency(latency))
+		clk.Spawn("producer", func(th *sim.Thread) {
+			for i := 0; i < 12; i++ {
+				if out.PushNB(th, i) {
+					pushed++
+				}
+				th.Wait()
+			}
+		})
+		clk.AtMonitor(func() {
+			if occ := ch.Occupancy(); occ > maxOcc {
+				maxOcc = occ
+			}
+		})
+		s.RunCycles(clk, 20)
+		return pushed, maxOcc
+	}
+	p0, occ0 := fill(0)
+	p2, occ2 := fill(2)
+	if p2 != p0 {
+		t.Fatalf("latency-2 buffer accepted %d pushes, latency-0 accepted %d — delay line added capacity", p2, p0)
+	}
+	if occ2 != occ0 || occ2 > 2 {
+		t.Fatalf("latency-2 max occupancy %d vs latency-0 %d (cap 2) — delay line added buffering", occ2, occ0)
+	}
+
+	// Backpressure holds too: under saturating traffic the latency-2
+	// channel must reject at least as many pushes as the latency-0 one
+	// (the bug's extra slots made it strictly less backpressured).
+	f0, f2 := fillStats(t, 0), fillStats(t, 2)
+	if f2.PushFails < f0.PushFails {
+		t.Fatalf("latency-2 push fails %d < latency-0 push fails %d — delay line relaxed backpressure", f2.PushFails, f0.PushFails)
+	}
+}
+
+// fillStats saturates a depth-2 buffer with an always-pushing producer
+// and a consumer that pops every other cycle, returning the channel's
+// counters after a fixed window.
+func fillStats(t *testing.T, latency int) Stats {
+	t.Helper()
+	s := sim.New()
+	clk := s.AddClock("clk", 1000, 0)
+	out, in := NewOut[int](), NewIn[int]()
+	ch := Buffer(clk, "ch", 2, out, in, WithLatency(latency))
+	clk.Spawn("producer", func(th *sim.Thread) {
+		for i := 0; ; i++ {
+			out.PushNB(th, i)
+			th.Wait()
+		}
+	})
+	clk.Spawn("consumer", func(th *sim.Thread) {
+		for {
+			in.PopNB(th)
+			th.WaitN(2)
+		}
+	})
+	s.RunCycles(clk, 60)
+	return ch.Stats()
+}
+
 func TestPipelineEnqueueWhenFull(t *testing.T) {
 	// A 1-deep Pipeline channel must sustain one transfer per cycle when
 	// producer and consumer both operate every cycle.

@@ -1,0 +1,355 @@
+// Package exp is the experiment-campaign runner behind the paper's
+// evaluation sweeps. The paper's figures are piles of independent
+// simulations — Figure 3 port sweeps, the six Figure 6 SoC tests, NoC
+// load-latency points, GALS margin sweeps, multi-seed stall-hunt
+// campaigns — and every one builds its own sim.Simulator, so they are
+// embarrassingly parallel. The runner executes a set of named jobs on a
+// bounded worker pool with three guarantees:
+//
+//   - Determinism: each job's seed is derived from the job name and the
+//     campaign seed alone (FNV-1a of the name XORed with the campaign
+//     seed, the same scheme connections.WithStall uses per channel), so
+//     results are bit-identical regardless of worker count, scheduling
+//     order, or repeated runs.
+//   - Isolation: a panicking job degrades to a reported failure instead
+//     of crashing the whole regeneration run, and an optional per-job
+//     timeout fences off diverging simulations.
+//   - Accounting: the campaign summary (jobs done, failures, wall time,
+//     per-job stats snapshots) is published in the internal/stats
+//     registry format, so campaign telemetry lands in the same tree and
+//     JSON dumps as every simulated component.
+//
+// Results are returned in job-submission order; printing code that
+// iterates a Summary therefore produces byte-identical output for any
+// parallelism level.
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Job is one named experiment: it builds and runs its own simulation and
+// returns an arbitrary result value. Run receives a Ctx carrying the
+// job's derived seed; a job that wants reproducible randomness must take
+// all of it from that seed.
+type Job struct {
+	Name string
+	Run  func(c *Ctx) (any, error)
+}
+
+// Ctx is the per-job context handed to a running job.
+type Ctx struct {
+	// Name is the job's campaign-unique name.
+	Name string
+	// Seed is the job's derived seed: DeriveSeed(campaignSeed, Name).
+	// It depends only on the campaign seed and job name, never on
+	// worker count or scheduling order.
+	Seed int64
+
+	statsJSON []byte
+}
+
+// Publish snapshots reg in the stats JSON dump format and attaches it to
+// the job's Result. Call it at most once, after the job's simulation has
+// finished.
+func (c *Ctx) Publish(reg *stats.Registry) error {
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		return err
+	}
+	c.statsJSON = buf.Bytes()
+	return nil
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Name     string
+	Index    int // submission index
+	Seed     int64
+	Value    any   // Run's return value; nil on failure
+	Err      error // job error, panic, or timeout
+	Panicked bool
+	TimedOut bool
+	Wall     time.Duration
+	Stats    []byte // stats JSON dump published via Ctx.Publish, if any
+}
+
+// Failed reports whether the job ended in error, panic, or timeout.
+func (r Result) Failed() bool { return r.Err != nil }
+
+// Summary is the outcome of a whole campaign.
+type Summary struct {
+	Name     string // campaign name; roots the summary's metric paths
+	Results  []Result
+	Wall     time.Duration
+	Parallel int
+	Seed     int64
+	Failed   int
+}
+
+// config collects the campaign options.
+type config struct {
+	name     string
+	parallel int
+	seed     int64
+	timeout  time.Duration
+	progress func(done, total int, r Result)
+}
+
+// Option configures a campaign run.
+type Option func(*config)
+
+// Named sets the campaign name, the root path of the summary's metrics
+// ("campaign" when unset).
+func Named(name string) Option { return func(c *config) { c.name = name } }
+
+// Parallel bounds the worker pool. Values below 1 are clamped to 1;
+// parallelism never changes results, only wall time.
+func Parallel(n int) Option { return func(c *config) { c.parallel = n } }
+
+// Seed sets the campaign seed that every per-job seed is derived from.
+func Seed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// Timeout bounds each job's wall time. A job exceeding it is reported
+// as a timed-out failure; its goroutine is abandoned (it keeps whatever
+// CPU it is burning, but the campaign completes without it). Zero means
+// no limit.
+func Timeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// OnProgress registers a callback invoked after each job completes, with
+// the number of finished jobs, the campaign size, and the job's result.
+// It is called from worker goroutines under a lock; keep it short and do
+// not write to the campaign's ordered output from it.
+func OnProgress(fn func(done, total int, r Result)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// DeriveSeed returns the deterministic per-job seed for a job name under
+// a campaign seed: the FNV-1a hash of the name XORed with the campaign
+// seed. This matches the per-channel scheme of connections.WithStall, so
+// a job named after a channel observes the same stream the channel's
+// stall injector would.
+func DeriveSeed(campaignSeed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return campaignSeed ^ int64(h.Sum64())
+}
+
+// Run executes the jobs on a bounded worker pool and returns the
+// campaign summary with results in submission order. Job names must be
+// campaign-unique (they key seed derivation and metric paths); duplicate
+// names panic.
+func Run(jobs []Job, opts ...Option) *Summary {
+	cfg := config{name: "campaign", parallel: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.parallel < 1 {
+		cfg.parallel = 1
+	}
+	names := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if names[j.Name] {
+			panic(fmt.Sprintf("exp: duplicate job name %q in campaign %q", j.Name, cfg.name))
+		}
+		names[j.Name] = true
+	}
+
+	s := &Summary{
+		Name:     cfg.name,
+		Results:  make([]Result, len(jobs)),
+		Parallel: cfg.parallel,
+		Seed:     cfg.seed,
+	}
+	start := time.Now()
+	workers := cfg.parallel
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := runOne(jobs[i], i, cfg)
+				s.Results[i] = r
+				mu.Lock()
+				done++
+				if r.Failed() {
+					s.Failed++
+				}
+				if cfg.progress != nil {
+					cfg.progress(done, len(jobs), r)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	s.Wall = time.Since(start)
+	return s
+}
+
+// outcome carries a finished job body's results across the completion
+// channel, so a timed-out (abandoned) body never races the runner.
+type outcome struct {
+	value    any
+	err      error
+	panicked bool
+	stats    []byte
+}
+
+// runOne executes one job with panic capture and the optional timeout.
+func runOne(j Job, i int, cfg config) Result {
+	r := Result{Name: j.Name, Index: i, Seed: DeriveSeed(cfg.seed, j.Name)}
+	ctx := &Ctx{Name: j.Name, Seed: r.Seed}
+	ch := make(chan outcome, 1) // buffered: an abandoned body must not block forever
+	start := time.Now()
+	go func() {
+		var o outcome
+		defer func() {
+			if p := recover(); p != nil {
+				o.err = fmt.Errorf("job %q panicked: %v\n%s", j.Name, p, debug.Stack())
+				o.panicked = true
+				o.value = nil
+			}
+			o.stats = ctx.statsJSON
+			ch <- o
+		}()
+		o.value, o.err = j.Run(ctx)
+	}()
+
+	if cfg.timeout > 0 {
+		t := time.NewTimer(cfg.timeout)
+		defer t.Stop()
+		select {
+		case o := <-ch:
+			r.Value, r.Err, r.Panicked, r.Stats = o.value, o.err, o.panicked, o.stats
+		case <-t.C:
+			r.TimedOut = true
+			r.Err = fmt.Errorf("job %q timed out after %v", j.Name, cfg.timeout)
+		}
+	} else {
+		o := <-ch
+		r.Value, r.Err, r.Panicked, r.Stats = o.value, o.err, o.panicked, o.stats
+	}
+	r.Wall = time.Since(start)
+	return r
+}
+
+// Err returns the first failed job's error in submission order, or nil
+// when every job succeeded. Campaign drivers that want fail-fast
+// semantics at the end of a run use it as their single error return.
+func (s *Summary) Err() error {
+	for _, r := range s.Results {
+		if r.Failed() {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Failures returns the failed results in submission order.
+func (s *Summary) Failures() []Result {
+	var out []Result
+	for _, r := range s.Results {
+		if r.Failed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Result returns the named job's result.
+func (s *Summary) Result(name string) (Result, bool) {
+	for _, r := range s.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Value returns the named job's result value, or nil if the job failed
+// or does not exist.
+func (s *Summary) Value(name string) any {
+	r, ok := s.Result(name)
+	if !ok {
+		return nil
+	}
+	return r.Value
+}
+
+// Metrics renders the campaign summary in the stats registry format:
+// campaign-level counters under the campaign name, per-job status under
+// "<campaign>/<job name>", and any stats snapshot a job published under
+// "<campaign>/<job name>/<original path>". The list is sorted in the
+// registry's natural path order.
+func (s *Summary) Metrics() []stats.Metric {
+	root := s.Name
+	if root == "" {
+		root = "campaign"
+	}
+	ms := []stats.Metric{
+		{Path: root, Name: "jobs", Value: float64(len(s.Results))},
+		{Path: root, Name: "failed", Value: float64(s.Failed)},
+		{Path: root, Name: "parallel", Value: float64(s.Parallel)},
+		{Path: root, Name: "wall_seconds", Value: s.Wall.Seconds()},
+	}
+	for _, r := range s.Results {
+		p := root + "/" + r.Name
+		ok, panicked, timedOut := 1.0, 0.0, 0.0
+		if r.Failed() {
+			ok = 0
+		}
+		if r.Panicked {
+			panicked = 1
+		}
+		if r.TimedOut {
+			timedOut = 1
+		}
+		ms = append(ms,
+			stats.Metric{Path: p, Name: "ok", Value: ok},
+			stats.Metric{Path: p, Name: "panicked", Value: panicked},
+			stats.Metric{Path: p, Name: "timed_out", Value: timedOut},
+			stats.Metric{Path: p, Name: "wall_seconds", Value: r.Wall.Seconds()},
+		)
+		if len(r.Stats) > 0 {
+			sub, err := stats.ParseJSON(r.Stats)
+			if err != nil {
+				continue // a malformed snapshot degrades to absence, not failure
+			}
+			for _, m := range sub {
+				mp := p
+				if m.Path != "" {
+					mp = p + "/" + m.Path
+				}
+				ms = append(ms, stats.Metric{Path: mp, Name: m.Name, Value: m.Value})
+			}
+		}
+	}
+	stats.SortMetrics(ms)
+	return ms
+}
+
+// WriteJSON writes the summary metrics as a stats JSON dump, the same
+// machine-readable format socsim -statsjson and benchfig -json emit.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	return stats.WriteMetricsJSON(w, s.Metrics())
+}

@@ -1,0 +1,248 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// simJobs builds n jobs that each derive a value purely from their seed.
+func simJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job[%d]", i),
+			Run: func(c *Ctx) (any, error) {
+				r := rand.New(rand.NewSource(c.Seed))
+				sum := 0
+				for k := 0; k < 1000; k++ {
+					sum += r.Intn(1000)
+				}
+				return sum, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func values(s *Summary) []any {
+	out := make([]any, len(s.Results))
+	for i, r := range s.Results {
+		out[i] = r.Value
+	}
+	return out
+}
+
+func TestDeriveSeedMatchesWithStallScheme(t *testing.T) {
+	h := fnv.New64a()
+	h.Write([]byte("soc/pe[3]/inject"))
+	want := int64(12345) ^ int64(h.Sum64())
+	if got := DeriveSeed(12345, "soc/pe[3]/inject"); got != want {
+		t.Fatalf("DeriveSeed = %d, want %d (FNV-1a of name XOR campaign seed)", got, want)
+	}
+	if DeriveSeed(1, "a") == DeriveSeed(1, "b") {
+		t.Fatal("distinct names derived the same seed")
+	}
+	if DeriveSeed(1, "a") == DeriveSeed(2, "a") {
+		t.Fatal("distinct campaign seeds derived the same job seed")
+	}
+}
+
+// The core determinism contract: results are bit-identical across
+// parallelism levels and repeated runs, in submission order.
+func TestParallelismInvariance(t *testing.T) {
+	jobs := simJobs(16)
+	seq := Run(jobs, Seed(7), Parallel(1))
+	for _, par := range []int{2, 8, 16, 64} {
+		p := Run(jobs, Seed(7), Parallel(par))
+		for i := range seq.Results {
+			if p.Results[i].Value != seq.Results[i].Value {
+				t.Fatalf("parallel=%d job %d = %v, sequential = %v", par, i, p.Results[i].Value, seq.Results[i].Value)
+			}
+			if p.Results[i].Seed != seq.Results[i].Seed {
+				t.Fatalf("parallel=%d job %d seed %d != sequential %d", par, i, p.Results[i].Seed, seq.Results[i].Seed)
+			}
+			if p.Results[i].Name != jobs[i].Name {
+				t.Fatalf("result %d out of submission order: %q", i, p.Results[i].Name)
+			}
+		}
+	}
+	again := Run(jobs, Seed(7), Parallel(8))
+	for i := range seq.Results {
+		if again.Results[i].Value != seq.Results[i].Value {
+			t.Fatalf("repeated run diverged at job %d", i)
+		}
+	}
+	// A different campaign seed must change the derived streams.
+	other := Run(jobs, Seed(8), Parallel(8))
+	same := 0
+	for i := range seq.Results {
+		if other.Results[i].Value == seq.Results[i].Value {
+			same++
+		}
+	}
+	if same == len(seq.Results) {
+		t.Fatal("campaign seed had no effect on any job")
+	}
+}
+
+// One panicking job must degrade to a reported failure without taking
+// down the campaign or its neighbours.
+func TestPanicIsolation(t *testing.T) {
+	jobs := simJobs(6)
+	jobs[3] = Job{Name: "job[3]", Run: func(c *Ctx) (any, error) {
+		panic("diverging simulation")
+	}}
+	s := Run(jobs, Seed(1), Parallel(4))
+	if s.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", s.Failed)
+	}
+	r := s.Results[3]
+	if !r.Panicked || r.Err == nil || !strings.Contains(r.Err.Error(), "diverging simulation") {
+		t.Fatalf("panicking job result = %+v", r)
+	}
+	for i, r := range s.Results {
+		if i != 3 && r.Failed() {
+			t.Fatalf("healthy job %d failed: %v", i, r.Err)
+		}
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "job[3]") {
+		t.Fatalf("Summary.Err = %v, want job[3] panic", err)
+	}
+	if f := s.Failures(); len(f) != 1 || f[0].Name != "job[3]" {
+		t.Fatalf("Failures = %v", f)
+	}
+}
+
+func TestJobErrorReported(t *testing.T) {
+	boom := errors.New("boom")
+	s := Run([]Job{
+		{Name: "ok", Run: func(c *Ctx) (any, error) { return 1, nil }},
+		{Name: "bad", Run: func(c *Ctx) (any, error) { return nil, boom }},
+	}, Parallel(2))
+	if s.Failed != 1 || !errors.Is(s.Results[1].Err, boom) {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Results[1].Panicked {
+		t.Fatal("plain error marked as panic")
+	}
+}
+
+func TestTimeoutFencesStuckJob(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := Run([]Job{
+		{Name: "stuck", Run: func(c *Ctx) (any, error) { <-release; return nil, nil }},
+		{Name: "quick", Run: func(c *Ctx) (any, error) { return 42, nil }},
+	}, Parallel(2), Timeout(50*time.Millisecond))
+	r := s.Results[0]
+	if !r.TimedOut || r.Err == nil {
+		t.Fatalf("stuck job result = %+v, want timeout", r)
+	}
+	if s.Results[1].Value != 42 || s.Results[1].Failed() {
+		t.Fatalf("quick job result = %+v", s.Results[1])
+	}
+}
+
+func TestDuplicateJobNamesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate job names accepted")
+		}
+	}()
+	Run([]Job{
+		{Name: "x", Run: func(c *Ctx) (any, error) { return nil, nil }},
+		{Name: "x", Run: func(c *Ctx) (any, error) { return nil, nil }},
+	})
+}
+
+func TestProgressCallback(t *testing.T) {
+	var dones []int
+	total := 0
+	s := Run(simJobs(5), Parallel(3), OnProgress(func(done, n int, r Result) {
+		dones = append(dones, done)
+		total = n
+	}))
+	if len(dones) != 5 || total != 5 {
+		t.Fatalf("progress calls %v, total %d", dones, total)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence %v not monotone", dones)
+		}
+	}
+	if s.Wall <= 0 {
+		t.Fatal("campaign wall time not measured")
+	}
+}
+
+// Summary metrics land in the stats registry format, with per-job
+// snapshots re-rooted under the campaign path, and natural ordering.
+func TestSummaryMetricsFormat(t *testing.T) {
+	jobs := []Job{
+		{Name: "sweep/pt[0]", Run: func(c *Ctx) (any, error) {
+			reg := stats.New()
+			reg.Counter("soc/pe[0]", "kernels").Add(3)
+			return 1, c.Publish(reg)
+		}},
+		{Name: "sweep/pt[1]", Run: func(c *Ctx) (any, error) { return nil, errors.New("nope") }},
+	}
+	s := Run(jobs, Named("fig3"), Parallel(2), Seed(5))
+	ms := s.Metrics()
+
+	get := func(path, name string) (float64, bool) {
+		for _, m := range ms {
+			if m.Path == path && m.Name == name {
+				return m.Value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := get("fig3", "jobs"); !ok || v != 2 {
+		t.Fatalf("fig3/jobs = %v, %v", v, ok)
+	}
+	if v, ok := get("fig3", "failed"); !ok || v != 1 {
+		t.Fatalf("fig3/failed = %v, %v", v, ok)
+	}
+	if v, ok := get("fig3/sweep/pt[0]", "ok"); !ok || v != 1 {
+		t.Fatalf("pt[0] ok = %v, %v", v, ok)
+	}
+	if v, ok := get("fig3/sweep/pt[1]", "ok"); !ok || v != 0 {
+		t.Fatalf("pt[1] ok = %v, %v", v, ok)
+	}
+	if v, ok := get("fig3/sweep/pt[0]/soc/pe[0]", "kernels"); !ok || v != 3 {
+		t.Fatalf("published snapshot not re-rooted: %v, %v", v, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := stats.ParseJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(ms) {
+		t.Fatalf("JSON round trip lost metrics: %d vs %d", len(parsed), len(ms))
+	}
+}
+
+func TestValueAndResultLookup(t *testing.T) {
+	s := Run(simJobs(3), Seed(3))
+	if v := s.Value("job[1]"); v != s.Results[1].Value {
+		t.Fatalf("Value lookup = %v", v)
+	}
+	if v := s.Value("absent"); v != nil {
+		t.Fatalf("absent job Value = %v, want nil", v)
+	}
+	if _, ok := s.Result("job[2]"); !ok {
+		t.Fatal("Result lookup failed")
+	}
+}

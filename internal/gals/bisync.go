@@ -70,14 +70,15 @@ func NewPausibleBisyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim
 // The pause is tiny (window ps), so the pessimistic phase test costs
 // almost nothing while guaranteeing an error-free crossing.
 func (f *PausibleBisyncFIFO[T]) pauseIfConflict(c *sim.Clock) {
-	now := uint64(f.s.Now())
-	p := uint64(c.Period())
-	if p == 0 {
-		return
-	}
-	phase := now % p
-	if phase > p-uint64(f.window) || phase < uint64(f.window) {
-		c.Pause(sim.Time(now) + f.window)
+	// The edge that samples this pointer toggle is the clock's actual
+	// next scheduled edge — including phase offset and any shift from
+	// earlier pauses. A now-modulo-period phase test is only right for a
+	// never-paused, zero-phase clock: once the receiver has been
+	// stretched, its edges no longer land on period multiples, so the
+	// modulo test pauses at the wrong phase or misses conflicts.
+	now := f.s.Now()
+	if c.NextEdge() < now+f.window {
+		c.Pause(now + f.window)
 		f.Pauses++
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/exp"
 	"repro/internal/sim"
 )
 
@@ -127,6 +128,41 @@ func RunMarginExperiment(nominalPS float64, droop float64, duration sim.Time, se
 	e := MarginExperiment{FixedMHz: count(false), AdaptiveMHz: count(true)}
 	e.GainPct = (e.AdaptiveMHz/e.FixedMHz - 1) * 100
 	return e
+}
+
+// MarginPoint is one droop setting of a margin sweep.
+type MarginPoint struct {
+	Droop float64
+	MarginExperiment
+}
+
+// MarginSweep measures the adaptive-vs-fixed margin recovery across
+// worst-case droop settings, one campaign job per droop sharded over the
+// runner's worker pool. Both generator styles within a point share the
+// point's derived noise seed, keeping the gain comparison seed-matched.
+// Points come back in droop order, bit-identical for any parallelism.
+func MarginSweep(nominalPS float64, droops []float64, duration sim.Time, seed int64, parallel int) ([]MarginPoint, *exp.Summary) {
+	jobs := make([]exp.Job, len(droops))
+	for i, droop := range droops {
+		droop := droop
+		jobs[i] = exp.Job{
+			Name: fmt.Sprintf("margin/droop[%g]", droop),
+			Run: func(c *exp.Ctx) (any, error) {
+				return MarginPoint{
+					Droop:            droop,
+					MarginExperiment: RunMarginExperiment(nominalPS, droop, duration, c.Seed),
+				}, nil
+			},
+		}
+	}
+	s := exp.Run(jobs, exp.Named("gals"), exp.Seed(seed), exp.Parallel(parallel))
+	pts := make([]MarginPoint, 0, len(droops))
+	for _, r := range s.Results {
+		if p, ok := r.Value.(MarginPoint); ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts, s
 }
 
 // SyncMTBF estimates the mean time between synchronization failures of

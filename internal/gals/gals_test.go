@@ -116,6 +116,63 @@ func TestPausesHappenForAliasedClocks(t *testing.T) {
 	}
 }
 
+// Regression for the conflict-window phase bug: the window must be
+// computed against the receiving clock's actual next edge, not
+// now%period. Clock b is paused before traffic starts, shifting its
+// edges off period multiples; the old modulo test then paused at the
+// wrong phase (2980 is "inside the window" mod 1000 but 520ps from the
+// real edge) and missed true conflicts (3480 is "safe" mod 1000 but
+// 20ps from the real edge at 3500).
+func TestPauseWindowTracksShiftedEdges(t *testing.T) {
+	s := sim.New()
+	a := s.AddClock("a", 1000, 0)
+	b := s.AddClock("b", 1000, 0)
+	b.Pause(1500) // shift b's edges to 1500, 2500, 3500, ...
+	f := NewPausibleBisyncFIFO[int](s, "pf", a, b, 4, 40)
+
+	var bEdges []sim.Time
+	b.AtCommit(func() { bEdges = append(bEdges, s.Now()) })
+
+	// Probe clocks fire exactly one edge each inside the run window,
+	// modelling a pointer crossing toward b at that instant.
+	s.AddClock("probe1", 100_000, 2980).Spawn("far", func(th *sim.Thread) {
+		before := f.Pauses
+		f.pauseIfConflict(b)
+		if f.Pauses != before {
+			t.Errorf("paused at t=2980: next b edge is 520ps away, outside the 40ps window")
+		}
+	})
+	s.AddClock("probe2", 100_000, 3480).Spawn("near", func(th *sim.Thread) {
+		before := f.Pauses
+		f.pauseIfConflict(b)
+		if f.Pauses != before+1 {
+			t.Errorf("no pause at t=3480: next b edge at 3500 is 20ps away, inside the 40ps window")
+		}
+	})
+
+	s.Run(4000)
+	want := []sim.Time{1500, 2500, 3520}
+	if len(bEdges) != len(want) {
+		t.Fatalf("b edges at %v, want %v", bEdges, want)
+	}
+	for i := range want {
+		if bEdges[i] != want[i] {
+			t.Fatalf("b edge %d at %d, want %d (conflict at 3480 must stretch the 3500 edge to 3520)", i, bEdges[i], want[i])
+		}
+	}
+}
+
+// Crossings stay loss-free when the receiving clock was paused before
+// traffic started (its edges permanently shifted off period multiples).
+func TestCDCAfterPrePause(t *testing.T) {
+	s := sim.New()
+	a := s.AddClock("a", 1000, 0)
+	b := s.AddClock("b", 1000, 0)
+	b.Pause(1730)
+	f := NewPausibleBisyncFIFO[int](s, "pf", a, b, 4, 40)
+	crossDomain(t, s, a, b, f.Push, f.Pop, 150)
+}
+
 func TestBruteForceTwoCycleLatencyFloor(t *testing.T) {
 	s := sim.New()
 	a := s.AddClock("a", 1000, 0)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/connections"
+	"repro/internal/exp"
 	"repro/internal/sim"
 )
 
@@ -82,18 +83,42 @@ func xbarRTLCyclesPerTxn(n, msgs int, seed int64) float64 {
 	return float64(clk.Cycle()) / float64(msgs)
 }
 
-// RunFig3 measures all three series for the given port counts.
+// RunFig3 measures all three series for the given port counts. It is
+// the sequential form of RunFig3Campaign and returns identical rows.
 func RunFig3(ports []int, msgsPerPort int, seed int64) []Fig3Row {
-	var rows []Fig3Row
-	for _, n := range ports {
-		rows = append(rows, Fig3Row{
-			Ports:  n,
-			RTL:    xbarRTLCyclesPerTxn(n, msgsPerPort, seed),
-			SimAcc: xbarTLMCyclesPerTxn(n, msgsPerPort, connections.ModeSimAccurate, seed),
-			SigAcc: xbarTLMCyclesPerTxn(n, msgsPerPort, connections.ModeSignalAccurate, seed),
-		})
-	}
+	rows, _ := RunFig3Campaign(ports, msgsPerPort, seed, 1)
 	return rows
+}
+
+// RunFig3Campaign measures the figure's series with one campaign job per
+// x-position (port count), sharded over the runner's worker pool. All
+// three series of a row share that row's derived seed so the comparison
+// between models stays seed-matched. Rows come back in port order and
+// are bit-identical for any parallelism level.
+func RunFig3Campaign(ports []int, msgsPerPort int, seed int64, parallel int) ([]Fig3Row, *exp.Summary) {
+	jobs := make([]exp.Job, len(ports))
+	for i, n := range ports {
+		n := n
+		jobs[i] = exp.Job{
+			Name: fmt.Sprintf("ports[%d]", n),
+			Run: func(c *exp.Ctx) (any, error) {
+				return Fig3Row{
+					Ports:  n,
+					RTL:    xbarRTLCyclesPerTxn(n, msgsPerPort, c.Seed),
+					SimAcc: xbarTLMCyclesPerTxn(n, msgsPerPort, connections.ModeSimAccurate, c.Seed),
+					SigAcc: xbarTLMCyclesPerTxn(n, msgsPerPort, connections.ModeSignalAccurate, c.Seed),
+				}, nil
+			},
+		}
+	}
+	s := exp.Run(jobs, exp.Named("fig3"), exp.Seed(seed), exp.Parallel(parallel))
+	rows := make([]Fig3Row, 0, len(ports))
+	for _, r := range s.Results {
+		if row, ok := r.Value.(Fig3Row); ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows, s
 }
 
 // PrintFig3 renders the series as the paper's figure data.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/connections"
+	"repro/internal/exp"
 	"repro/internal/sim"
 )
 
@@ -20,13 +21,37 @@ type LoadPoint struct {
 // LoadLatencySweep runs uniform-random traffic on a W×H wormhole mesh at
 // each offered load for the given number of cycles and measures delivered
 // throughput and mean packet latency — the standard NoC characterization
-// curve (latency flat at low load, diverging past saturation).
+// curve (latency flat at low load, diverging past saturation). It is the
+// sequential form of LoadLatencyCampaign and returns identical points.
 func LoadLatencySweep(w, h int, loads []float64, cycles uint64, payloadWords int, seed int64) []LoadPoint {
-	var out []LoadPoint
-	for _, load := range loads {
-		out = append(out, runLoadPoint(w, h, load, cycles, payloadWords, seed))
+	pts, _ := LoadLatencyCampaign(w, h, loads, cycles, payloadWords, seed, 1)
+	return pts
+}
+
+// LoadLatencyCampaign measures the sweep with one campaign job per
+// offered-load point, sharded over the runner's worker pool. Each
+// point's traffic seed is derived from the point's job name and the
+// campaign seed, so the curve is bit-identical for any parallelism
+// level. Points come back in the order of loads.
+func LoadLatencyCampaign(w, h int, loads []float64, cycles uint64, payloadWords int, seed int64, parallel int) ([]LoadPoint, *exp.Summary) {
+	jobs := make([]exp.Job, len(loads))
+	for i, load := range loads {
+		load := load
+		jobs[i] = exp.Job{
+			Name: fmt.Sprintf("load[%g]", load),
+			Run: func(c *exp.Ctx) (any, error) {
+				return runLoadPoint(w, h, load, cycles, payloadWords, c.Seed), nil
+			},
+		}
 	}
-	return out
+	s := exp.Run(jobs, exp.Named("noc"), exp.Seed(seed), exp.Parallel(parallel))
+	pts := make([]LoadPoint, 0, len(loads))
+	for _, r := range s.Results {
+		if p, ok := r.Value.(LoadPoint); ok {
+			pts = append(pts, p)
+		}
+	}
+	return pts, s
 }
 
 func runLoadPoint(w, h int, load float64, cycles uint64, payloadWords int, seed int64) LoadPoint {

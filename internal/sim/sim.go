@@ -313,6 +313,13 @@ func (c *Clock) nextEdge() Time {
 	return c.next
 }
 
+// NextEdge returns the time of the clock's next scheduled rising edge,
+// including the effect of any pending pause. Pausible-clocking models
+// use it to test a crossing against the edge that will actually sample
+// it, which a naive now-modulo-period phase test gets wrong as soon as
+// the clock has been paused or carries a phase offset.
+func (c *Clock) NextEdge() Time { return c.nextEdge() }
+
 // AtDrive registers f to run in the drive phase of every edge.
 func (c *Clock) AtDrive(f func()) { c.AtDriveNamed("", f) }
 

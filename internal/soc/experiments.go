@@ -1,12 +1,12 @@
 package soc
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/connections"
+	"repro/internal/exp"
 )
 
 // Fig6Row is one point of the paper's Figure 6: one SoC-level test run
@@ -26,45 +26,86 @@ type Fig6Row struct {
 	RTLStats []byte
 }
 
+// fig6Run is one (test, mode) measurement inside the campaign.
+type fig6Run struct {
+	Cycles uint64
+	Wall   time.Duration
+}
+
 // RunFig6 executes every SoC test in both modes and measures elapsed
-// cycles and wall-clock time.
+// cycles and wall-clock time. It is the sequential form of
+// RunFig6Campaign and returns identical rows.
 func RunFig6(maxCycles uint64) ([]Fig6Row, error) {
+	rows, s := RunFig6Campaign(maxCycles, 1)
+	return rows, s.Err()
+}
+
+// RunFig6Campaign runs the figure with one campaign job per (test, mode)
+// pair — "<test>/tlm" and "<test>/rtl" — sharded over the runner's
+// worker pool. Each job publishes its full component-tree metrics
+// snapshot into the campaign summary. Rows come back in Tests() order;
+// a failed run leaves zeros in its half of the row and is reported
+// through the summary.
+func RunFig6Campaign(maxCycles uint64, parallel int) ([]Fig6Row, *exp.Summary) {
+	type modeCase struct {
+		suffix string
+		mode   connections.Mode
+	}
+	modes := []modeCase{
+		{"tlm", connections.ModeSimAccurate},
+		{"rtl", connections.ModeRTLCosim},
+	}
+
+	var jobs []exp.Job
+	for _, tc := range Tests() {
+		tc := tc
+		for _, mc := range modes {
+			mc := mc
+			jobs = append(jobs, exp.Job{
+				Name: tc.Name + "/" + mc.suffix,
+				Run: func(c *exp.Ctx) (any, error) {
+					cfg := DefaultConfig()
+					cfg.Mode = mc.mode
+					cfg.ShadowNetlists = true // full RTL-cosim cost in RTL mode
+					cfg.StallSeed = c.Seed
+					s, verify := tc.Build(cfg)
+					start := time.Now()
+					cycles, err := s.Run(maxCycles)
+					wall := time.Since(start)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%v: %w", tc.Name, mc.mode, err)
+					}
+					if err := verify(s); err != nil {
+						return nil, err
+					}
+					if err := c.Publish(s.Sim.Metrics()); err != nil {
+						return nil, err
+					}
+					return fig6Run{Cycles: cycles, Wall: wall}, nil
+				},
+			})
+		}
+	}
+
+	s := exp.Run(jobs, exp.Named("fig6"), exp.Parallel(parallel))
 	var rows []Fig6Row
 	for _, tc := range Tests() {
 		row := Fig6Row{Test: tc.Name}
-
-		run := func(mode connections.Mode) (uint64, time.Duration, []byte, error) {
-			cfg := DefaultConfig()
-			cfg.Mode = mode
-			cfg.ShadowNetlists = true // full RTL-cosim cost in RTL mode
-			s, verify := tc.Build(cfg)
-			start := time.Now()
-			cycles, err := s.Run(maxCycles)
-			wall := time.Since(start)
-			if err != nil {
-				return 0, 0, nil, fmt.Errorf("%s/%v: %w", tc.Name, mode, err)
-			}
-			if err := verify(s); err != nil {
-				return 0, 0, nil, err
-			}
-			var dump bytes.Buffer
-			if err := s.Sim.Metrics().WriteJSON(&dump); err != nil {
-				return 0, 0, nil, err
-			}
-			return cycles, wall, dump.Bytes(), nil
+		if r, ok := s.Result(tc.Name + "/tlm"); ok && !r.Failed() {
+			run := r.Value.(fig6Run)
+			row.TLMCycles, row.TLMWall, row.TLMStats = run.Cycles, run.Wall, r.Stats
 		}
-		var err error
-		if row.TLMCycles, row.TLMWall, row.TLMStats, err = run(connections.ModeSimAccurate); err != nil {
-			return nil, err
+		if r, ok := s.Result(tc.Name + "/rtl"); ok && !r.Failed() {
+			run := r.Value.(fig6Run)
+			row.RTLCycles, row.RTLWall, row.RTLStats = run.Cycles, run.Wall, r.Stats
 		}
-		if row.RTLCycles, row.RTLWall, row.RTLStats, err = run(connections.ModeRTLCosim); err != nil {
-			return nil, err
+		if row.TLMWall > 0 && row.RTLCycles > 0 {
+			row.Speedup = float64(row.RTLWall) / float64(row.TLMWall)
+			row.CycleErrPct = 100 * (float64(row.RTLCycles) - float64(row.TLMCycles)) / float64(row.RTLCycles)
 		}
-		row.Speedup = float64(row.RTLWall) / float64(row.TLMWall)
-		row.CycleErrPct = 100 * (float64(row.RTLCycles) - float64(row.TLMCycles)) / float64(row.RTLCycles)
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, s
 }
 
 // PrintFig6 renders the rows as the paper's figure data.

@@ -150,14 +150,83 @@ func (r *Registry) Snapshot() []Metric {
 			ms = append(ms, Metric{Path: path, Name: name, Value: value})
 		})
 	}
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Path != ms[j].Path {
-			return ms[i].Path < ms[j].Path
-		}
-		return ms[i].Name < ms[j].Name
-	})
+	SortMetrics(ms)
 	return ms
 }
+
+// SortMetrics orders a metric list path-then-name, with numeric runs in
+// paths compared by value so replicated components ("pe[2]" before
+// "pe[10]") list in natural index order in tree and JSON dumps.
+func SortMetrics(ms []Metric) {
+	sort.Slice(ms, func(i, j int) bool {
+		if c := naturalCmp(ms[i].Path, ms[j].Path); c != 0 {
+			return c < 0
+		}
+		return naturalCmp(ms[i].Name, ms[j].Name) < 0
+	})
+}
+
+// PathLess reports whether path a orders before path b under the
+// registry's natural ordering (digit runs compared numerically).
+func PathLess(a, b string) bool { return naturalCmp(a, b) < 0 }
+
+// naturalCmp compares two strings byte-wise except that maximal runs of
+// ASCII digits are compared as integers. Numerically equal runs with
+// different zero padding fall back to a deterministic tiebreak (more
+// padding first) so the order stays total.
+func naturalCmp(a, b string) int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ca, cb := a[i], b[j]
+		if isDigit(ca) && isDigit(cb) {
+			si, sj := i, j
+			for i < len(a) && isDigit(a[i]) {
+				i++
+			}
+			for j < len(b) && isDigit(b[j]) {
+				j++
+			}
+			ra, rb := a[si:i], b[sj:j]
+			na, nb := strings.TrimLeft(ra, "0"), strings.TrimLeft(rb, "0")
+			if len(na) != len(nb) {
+				if len(na) < len(nb) {
+					return -1
+				}
+				return 1
+			}
+			if na != nb {
+				if na < nb {
+					return -1
+				}
+				return 1
+			}
+			if len(ra) != len(rb) {
+				if len(ra) > len(rb) {
+					return -1
+				}
+				return 1
+			}
+			continue
+		}
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+		i++
+		j++
+	}
+	switch {
+	case len(a)-i < len(b)-j:
+		return -1
+	case len(a)-i > len(b)-j:
+		return 1
+	}
+	return 0
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 // Total sums metric name over every path that equals prefix or starts
 // with prefix+"/". An empty prefix sums over all paths.
@@ -225,9 +294,16 @@ type jsonDump struct {
 // WriteJSON writes the snapshot as the machine-readable dump format
 // ({"metrics":[{path,name,value},...]}) consumed by cmd/benchfig.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return WriteMetricsJSON(w, r.Snapshot())
+}
+
+// WriteMetricsJSON writes an already-collected metric list in the same
+// dump format; campaign summaries (internal/exp) use it to publish
+// without a live registry.
+func WriteMetricsJSON(w io.Writer, ms []Metric) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(jsonDump{Metrics: r.Snapshot()})
+	return enc.Encode(jsonDump{Metrics: ms})
 }
 
 // ParseJSON decodes a dump written by WriteJSON back into a metric list.

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -90,6 +91,64 @@ func TestDumpTreeShape(t *testing.T) {
 		"    kernels = 3\n"
 	if buf.String() != want {
 		t.Fatalf("dump:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// Replicated components must dump in natural index order: pe[2] before
+// pe[10], not the lexical pe[1], pe[10], pe[11], pe[2] ordering.
+func TestSnapshotNaturalIndexOrder(t *testing.T) {
+	r := New()
+	const numPEs = 12
+	// Register in a scrambled order so the sort does the work.
+	for _, i := range []int{7, 0, 10, 3, 11, 1, 8, 5, 2, 9, 6, 4} {
+		r.Counter(fmt.Sprintf("soc/pe[%d]", i), "kernels").Add(uint64(i))
+	}
+	ms := r.Snapshot()
+	if len(ms) != numPEs {
+		t.Fatalf("snapshot has %d metrics, want %d", len(ms), numPEs)
+	}
+	for i, m := range ms {
+		want := fmt.Sprintf("soc/pe[%d]", i)
+		if m.Path != want {
+			t.Fatalf("snapshot[%d].Path = %q, want %q (natural index order)", i, m.Path, want)
+		}
+	}
+	// The tree dump lists replicas in the same natural order.
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	prev := -1
+	for _, line := range strings.Split(buf.String(), "\n") {
+		var idx int
+		if n, _ := fmt.Sscanf(strings.TrimSpace(line), "pe[%d]", &idx); n == 1 {
+			if idx != prev+1 {
+				t.Fatalf("tree lists pe[%d] after pe[%d]:\n%s", idx, prev, buf.String())
+			}
+			prev = idx
+		}
+	}
+	if prev != numPEs-1 {
+		t.Fatalf("tree listed %d PE nodes, want %d", prev+1, numPEs)
+	}
+}
+
+func TestNaturalCmpProperties(t *testing.T) {
+	ordered := []string{"", "a", "a/b", "pe[0]", "pe[2]", "pe[10]", "r2", "r10", "z"}
+	for i, a := range ordered {
+		for j, b := range ordered {
+			got := naturalCmp(a, b)
+			switch {
+			case i < j && got >= 0:
+				t.Errorf("naturalCmp(%q, %q) = %d, want < 0", a, b, got)
+			case i == j && got != 0:
+				t.Errorf("naturalCmp(%q, %q) = %d, want 0", a, b, got)
+			case i > j && got <= 0:
+				t.Errorf("naturalCmp(%q, %q) = %d, want > 0", a, b, got)
+			}
+		}
+	}
+	// Zero-padding keeps the order total and deterministic.
+	if naturalCmp("pe[01]", "pe[1]") >= 0 || naturalCmp("pe[1]", "pe[01]") <= 0 {
+		t.Error("zero-padding tiebreak not antisymmetric")
 	}
 }
 

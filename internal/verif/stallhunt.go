@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/connections"
+	"repro/internal/exp"
 	"repro/internal/matchlib"
 	"repro/internal/sim"
 )
@@ -22,6 +23,82 @@ type StallHuntResult struct {
 	TimingStates  int      // distinct (validA, validB, occupancy) states covered
 	CornerCovered bool     // the buggy corner state was reached
 	Delivered     int
+}
+
+// timingStateKeys precomputes the coverage key for every reachable
+// (validA, validB, occupancy) timing state, indexed by stateIndex. The
+// key strings match the historical fmt.Sprintf("a%v_b%v_q%d", ...)
+// format so coverage dumps stay comparable across versions.
+func timingStateKeys(qcap int) []string {
+	keys := make([]string, 4*(qcap+1))
+	for _, aok := range []bool{false, true} {
+		for _, bok := range []bool{false, true} {
+			for occ := 0; occ <= qcap; occ++ {
+				keys[stateIndex(aok, bok, occ)] = fmt.Sprintf("a%v_b%v_q%d", aok, bok, occ)
+			}
+		}
+	}
+	return keys
+}
+
+// stateIndex maps a (validA, validB, occupancy) state to its key slot.
+func stateIndex(aok, bok bool, occ int) int {
+	i := occ << 2
+	if aok {
+		i |= 1
+	}
+	if bok {
+		i |= 2
+	}
+	return i
+}
+
+// StallHuntCampaign aggregates a multi-seed stall hunt: the paper's
+// point is that any single stall seed may or may not reach the corner,
+// but a cheap campaign of seeds finds the bug with high probability.
+type StallHuntCampaign struct {
+	Results         []StallHuntResult // per stall seed, in seed-index order
+	BugSeeds        int               // seeds whose scoreboard caught the bug
+	CornerSeeds     int               // seeds that reached the buggy corner state
+	MaxTimingStates int               // best timing-state coverage of any seed
+	TotalDelivered  int
+}
+
+// RunStallHuntCampaign runs the stall-injection testbench under nSeeds
+// independently derived stall seeds, one campaign job per seed
+// ("seed[i]") sharded over the runner's worker pool. Each job's stall
+// seed comes from the campaign seed-derivation rule, so the aggregate
+// is bit-identical for any parallelism level.
+func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int64, parallel int) (StallHuntCampaign, *exp.Summary) {
+	jobs := make([]exp.Job, nSeeds)
+	for i := range jobs {
+		jobs[i] = exp.Job{
+			Name: fmt.Sprintf("seed[%d]", i),
+			Run: func(c *exp.Ctx) (any, error) {
+				return RunStallHunt(pStall, c.Seed, messages), nil
+			},
+		}
+	}
+	s := exp.Run(jobs, exp.Named("stallhunt"), exp.Seed(campaignSeed), exp.Parallel(parallel))
+	var agg StallHuntCampaign
+	for _, r := range s.Results {
+		res, ok := r.Value.(StallHuntResult)
+		if !ok {
+			continue
+		}
+		agg.Results = append(agg.Results, res)
+		if len(res.Errors) > 0 {
+			agg.BugSeeds++
+		}
+		if res.CornerCovered {
+			agg.CornerSeeds++
+		}
+		if res.TimingStates > agg.MaxTimingStates {
+			agg.MaxTimingStates = res.TimingStates
+		}
+		agg.TotalDelivered += res.Delivered
+	}
+	return agg, s
 }
 
 // RunStallHunt runs the seeded-bug testbench. pStall = 0 reproduces
@@ -68,11 +145,16 @@ func RunStallHunt(pStall float64, seed int64, messages int) StallHuntResult {
 	// collide; only stalled output plus bunched inputs reach the corner.
 	const qcap = 4
 	q := matchlib.NewFIFO[int](qcap)
+	// The (validA, validB, occupancy) timing-state keys are hit every
+	// cycle on the DUT's hottest loop; interning the small fixed key set
+	// up front keeps the per-cycle cost to two bools and an index instead
+	// of a fmt.Sprintf allocation.
+	stateKeys := timingStateKeys(qcap)
 	clk.Spawn("merge", func(th *sim.Thread) {
 		for {
 			av, aok := aIn.Peek()
 			bv, bok := bIn.Peek()
-			cov.Hit(fmt.Sprintf("a%v_b%v_q%d", aok, bok, q.Len()))
+			cov.Hit(stateKeys[stateIndex(aok, bok, q.Len())])
 			if aok && bok && q.Len() == qcap-1 {
 				cov.Hit("corner")
 			}

@@ -1,6 +1,9 @@
 package verif
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestCoverage(t *testing.T) {
 	c := NewCoverage()
@@ -98,5 +101,38 @@ func TestStallHuntDeliversEverythingWhenBugAvoided(t *testing.T) {
 	r := RunStallHunt(0, 2, 100)
 	if r.Delivered != 200 {
 		t.Fatalf("delivered %d/200 under nominal timing", r.Delivered)
+	}
+}
+
+// The interned key table must cover every reachable timing state with
+// the historical fmt format, so coverage dumps stay comparable.
+func TestTimingStateKeysMatchSprintfFormat(t *testing.T) {
+	keys := timingStateKeys(4)
+	seen := map[string]bool{}
+	for _, aok := range []bool{false, true} {
+		for _, bok := range []bool{false, true} {
+			for occ := 0; occ <= 4; occ++ {
+				want := fmt.Sprintf("a%v_b%v_q%d", aok, bok, occ)
+				if got := keys[stateIndex(aok, bok, occ)]; got != want {
+					t.Fatalf("key(%v,%v,%d) = %q, want %q", aok, bok, occ, got, want)
+				}
+				seen[want] = true
+			}
+		}
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("%d distinct keys for %d slots — index collision", len(seen), len(keys))
+	}
+}
+
+// BenchmarkStallHunt locks in the allocation drop from interning the
+// per-cycle timing-state coverage keys (run with -benchmem).
+func BenchmarkStallHunt(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := RunStallHunt(0.30, int64(i+1), 60)
+		if r.Delivered == 0 {
+			b.Fatal("stall-hunt run delivered nothing")
+		}
 	}
 }
