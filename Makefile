@@ -10,10 +10,14 @@ test: build
 
 # Fast correctness tier for scheduler/channel work: vet everything, then
 # race-test the packages whose concurrency the kernel refactor touches
-# (plus the campaign runner's worker pool).
+# (plus the campaign runner's worker pool and the tracing layer), run the
+# full SoC suite with channel tracing armed, and enforce the disarmed
+# tracing overhead budget (<= 2% over the untraced primitives).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp
+	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp ./internal/trace
+	SOC_TRACE=1 $(GO) test ./internal/soc
+	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -49,6 +49,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "campaign worker-pool size")
 	seed := flag.Int64("seed", 7, "campaign seed (per-job seeds derive from it)")
 	jsonOut := flag.String("json", "", "write merged campaign metrics JSON to `file`")
+	vcdOnFail := flag.String("vcd-on-fail", "", "on a stall-hunt failure, re-run the first failing seed traced and write its channel waveforms to `file`")
 	flag.Parse()
 
 	if !(*fig3 || *fig6 || *qor || *xbar || *galsF || *backend || *prod || *nocF || *stallhunt || *all) {
@@ -127,6 +128,25 @@ func main() {
 		nominal := verif.RunStallHunt(0, *seed, 200)
 		fmt.Printf("  nominal timing control: %d errors, corner covered: %v\n",
 			len(nominal.Errors), nominal.CornerCovered)
+		if len(agg.Diagnosis) > 0 {
+			fmt.Printf("  channel diagnosis of first failing seed (index %d):\n", agg.FirstBugIndex)
+			for _, line := range agg.Diagnosis {
+				fmt.Println("    " + line)
+			}
+		}
+		if *vcdOnFail != "" && agg.FirstBugIndex >= 0 {
+			// Re-run the failure with tracing armed and dump the handshake
+			// waveforms — the "open the wave of the failing seed" workflow.
+			_, rec := verif.RunStallHuntTraced(0.30, agg.FirstBugSeed, 200)
+			f, err := os.Create(*vcdOnFail)
+			check(err)
+			samples, changes, err := rec.WriteVCD(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			check(err)
+			fmt.Printf("  wrote %s (%d samples, %d changes)\n", *vcdOnFail, samples, changes)
+		}
 		fmt.Println()
 	}
 	if *all || *fig6 {

@@ -6,6 +6,8 @@
 //	socsim -test conv1d -mode rtl
 //	socsim -test all -gals
 //	socsim -test vecadd -stall 0.2 -seed 3
+//	socsim -test memcpy -vcd out.vcd      # per-channel waveforms, GTKWave-ready
+//	socsim -test memcpy -trace            # backpressure/deadlock report
 package main
 
 import (
@@ -29,7 +31,9 @@ func main() {
 	statsF := flag.Bool("stats", false, "dump the full per-component metrics tree")
 	statsJSON := flag.String("statsjson", "", "write the metrics snapshot as JSON to this file")
 	powerF := flag.Bool("power", false, "print the architectural power breakdown")
-	vcd := flag.String("vcd", "", "write a VCD waveform of all node packet channels to this file")
+	vcd := flag.String("vcd", "", "write a VCD waveform of every traced channel (valid/ready/occ, grouped by component scope) to this file")
+	traceF := flag.Bool("trace", false, "arm channel tracing and print the per-channel backpressure/deadlock report")
+	horizon := flag.Uint64("horizon", 1000, "deadlock bound for -trace, in cycles of each channel's clock")
 	maxCycles := flag.Uint64("maxcycles", 10_000_000, "cycle budget")
 	flag.Parse()
 
@@ -49,6 +53,7 @@ func main() {
 	cfg.ShadowNetlists = *shadow
 	cfg.StallP = *stall
 	cfg.StallSeed = *seed
+	cfg.Trace = *vcd != "" || *traceF
 
 	any := false
 	for _, tc := range append(soc.Tests(), soc.ExtraTests()...) {
@@ -57,18 +62,6 @@ func main() {
 		}
 		any = true
 		s, verify := tc.Build(cfg)
-		var vcdFile *os.File
-		var vcdTrace *trace.VCD
-		if *vcd != "" {
-			f, err := os.Create(*vcd)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "socsim:", err)
-				os.Exit(1)
-			}
-			vcdFile = f
-			vcdTrace = trace.NewVCD(f)
-			s.TraceChannels(vcdTrace)
-		}
 		start := time.Now()
 		cycles, err := s.Run(*maxCycles)
 		wall := time.Since(start)
@@ -85,15 +78,36 @@ func main() {
 		if cfg.GALS {
 			fmt.Printf("  %d clock pauses", s.Pauses())
 		}
-		if vcdFile != nil {
-			samples, changes := vcdTrace.Counts()
-			if err := vcdFile.Close(); err != nil {
+		if *vcd != "" {
+			f, err := os.Create(*vcd)
+			var samples, changes uint64
+			if err == nil {
+				samples, changes, err = s.Tracer().WriteVCD(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "socsim:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("  wrote %s (%d samples, %d changes)\n", *vcd, samples, changes)
+			fmt.Printf("  wrote %s (%d samples, %d changes)", *vcd, samples, changes)
 		}
 		fmt.Println()
+		var rep *trace.Report
+		if cfg.Trace {
+			rep = s.Tracer().Analyze(*horizon)
+			// Trace-derived figures join the same registry the components
+			// publish into, so -stats and -statsjson include them.
+			rep.Publish(s.Sim.Metrics(), "trace")
+		}
+		if *traceF {
+			fmt.Printf("channel trace: %d events on %d channels, %d suspects\n",
+				rep.Events, len(rep.Channels), len(rep.Suspects))
+			for _, line := range rep.Summary() {
+				fmt.Println("  " + line)
+			}
+		}
 		if *powerF {
 			s.PowerEstimate(cycles, 1100).Print(os.Stdout)
 		}

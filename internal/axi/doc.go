@@ -1,0 +1,11 @@
+// Package axi implements the MatchLib AXI components (Table 2): typed
+// read/write address, data and response channels in the style of AXI4,
+// master and slave interface bundles, a slave adapter over a memory
+// array, an arbitrated interconnect, and bridges between AXI and simple
+// request/response LI channels.
+//
+// The model follows the five-channel AXI split — AW, W, AR, R, B — with
+// bursts of consecutive beats (INCR). Each channel is an ordinary
+// latency-insensitive channel from internal/connections, so AXI traffic
+// composes with every channel mode, stall injection, and retiming option.
+package axi

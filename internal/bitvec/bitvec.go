@@ -1,12 +1,3 @@
-// Package bitvec provides arbitrary-width bit vectors used throughout the
-// flow wherever bit-accurate hardware values are needed: RTL netlist
-// simulation, packetization of latency-insensitive channel messages, and
-// the serializer/deserializer components.
-//
-// A Vec is a value type: operations return new vectors and never alias the
-// operands. Widths are explicit; binary operations require equal widths and
-// panic otherwise, mirroring the strict width discipline of synthesizable
-// hardware datatypes (sc_bv / sc_uint).
 package bitvec
 
 import (

@@ -1,0 +1,14 @@
+// Package bitvec provides arbitrary-width bit vectors used throughout the
+// flow wherever bit-accurate hardware values are needed: RTL netlist
+// simulation, packetization of latency-insensitive channel messages, and
+// the serializer/deserializer components.
+//
+// A Vec is a value type: operations return new vectors and never alias the
+// operands. Widths are explicit; binary operations require equal widths and
+// panic otherwise, mirroring the strict width discipline of synthesizable
+// hardware datatypes (sc_bv / sc_uint).
+//
+// In the paper's terms this is the value substrate beneath the bit-level
+// work of Table 3's RTL flows: the same vectors carry netlist signal
+// states, RTL-cosim channel payloads, and flit bodies.
+package bitvec

@@ -1,29 +1,3 @@
-// Package connections implements the paper's Connections library:
-// latency-insensitive (LI) channels with unified In/Out ports that are
-// decoupled from the channel kind chosen at integration time (Table 1 and
-// Figure 2 of the paper).
-//
-// Three port-operation cost models are provided, selected per channel:
-//
-//   - ModeSimAccurate (default): the paper's sim-accurate model. Port
-//     operations stage data into endpoint buffers that a kernel-level
-//     channel process flushes at commit, so a thread loop touching any
-//     number of ports advances one cycle per iteration. Elapsed cycles
-//     match RTL throughput.
-//   - ModeSignalAccurate: the paper's synthesizable signal-accurate model.
-//     Every Push/PushNB/Pop/PopNB performs a delayed handshake operation —
-//     drive valid (or ready), wait one cycle, clear, sample the other
-//     side — so multiple port operations in one loop body serialize. This
-//     is the error source measured in Figure 3.
-//   - ModeRTLCosim: keeps the parallel transfer resolution of the
-//     sim-accurate model but packs every message to bits, carries it
-//     through a pipeline-register delay line, and unpacks on delivery.
-//     Elapsed cycles grow slightly (pipeline latency) and wall-clock cost
-//     grows substantially — the two properties measured in Figure 6.
-//
-// Channels can inject random stalls (withholding valid and/or ready) to
-// perturb inter-unit timing without changing design or testbench code,
-// reproducing the paper's verification aid.
 package connections
 
 import (
@@ -34,6 +8,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Mode selects the port-operation cost model of a channel.
@@ -201,6 +176,16 @@ type core[T any] struct {
 	rtlSigs    bitvec.Vec
 	rtlToggles uint64
 
+	// Handshake-event tracing. sub is nil unless the simulator was armed
+	// (sim.Simulator.Arm) before the channel was bound; every emission
+	// site nil-checks it, so the disarmed fast path costs one predictable
+	// branch. The tLast* fields are the change detectors of the armed
+	// per-cycle monitor hook, which is not even registered when disarmed.
+	sub                    *trace.Subject
+	tInit                  bool
+	tLastValid, tLastReady uint64
+	tLastOcc, tLastStall   uint64
+
 	stats Stats
 	bound bool
 }
@@ -245,6 +230,13 @@ func newCore[T any](clk *sim.Clock, name string, kind Kind, capacity int, opts [
 	}
 	c.popReady = c.canPop
 	c.pushReady = c.canPush
+	c.sub = clk.Sim().Tracer().Subject(name)
+	if c.sub != nil {
+		// Armed only: the per-cycle valid/ready/occupancy monitor exists
+		// solely when a recorder is attached, so a disarmed simulation
+		// schedules exactly the hooks it did before tracing existed.
+		clk.AtMonitorNamed(name+"/trace", c.traceMonitor)
+	}
 	if c.mode == ModeRTLCosim {
 		clk.AtDriveNamed(name+"/rtl_eval", c.rtlEval)
 	}
@@ -373,6 +365,81 @@ func (c *core[T]) tryPop() (T, bool) {
 	v := c.skid[c.bypassTaken]
 	c.bypassTaken++
 	return v, true
+}
+
+// netCount is the number of messages the channel currently holds across
+// committed queue, skid, and delay line, net of this cycle's staged
+// consumption — the occupancy figure handshake events carry.
+func (c *core[T]) netCount() uint64 {
+	return uint64(len(c.queue) + len(c.skid) + len(c.inflightBuf) - c.stagedPops - c.bypassTaken)
+}
+
+// emitPush records a port push outcome on an armed channel. Call sites
+// write the nil-check inline —
+//
+//	ok := c.tryPush(v)
+//	if c.sub != nil {
+//		c.emitPush(ok)
+//	}
+//
+// — so the disarmed path pays exactly one predictable branch and no
+// extra call (the pattern the disarmed-overhead guard benchmarks). The
+// primitives above stay untraced as the benchmark baseline.
+func (c *core[T]) emitPush(ok bool) {
+	k := trace.KindFull
+	if ok {
+		k = trace.KindPush
+	}
+	c.sub.Emit(k, uint64(c.clk.Sim().Now()), c.clk.Cycle(), c.netCount())
+}
+
+// emitPop records a port pop outcome on an armed channel; see emitPush
+// for the call-site pattern.
+func (c *core[T]) emitPop(ok bool) {
+	k := trace.KindEmpty
+	if ok {
+		k = trace.KindPop
+	}
+	c.sub.Emit(k, uint64(c.clk.Sim().Now()), c.clk.Cycle(), c.netCount())
+}
+
+// traceMonitor samples the channel's committed handshake state once per
+// cycle and emits level-change events (valid, ready, occupancy, injected
+// stalls). Registered only when the simulation is armed.
+func (c *core[T]) traceMonitor() {
+	now, cyc := uint64(c.clk.Sim().Now()), c.clk.Cycle()
+	var valid, ready uint64
+	if _, ok := c.peek(); ok {
+		valid = 1
+	}
+	if c.skidFree() && !c.stalledReady {
+		ready = 1
+	}
+	occ := uint64(len(c.queue))
+	var stall uint64
+	if c.stalledValid {
+		stall |= 1
+	}
+	if c.stalledReady {
+		stall |= 2
+	}
+	if !c.tInit || valid != c.tLastValid {
+		c.sub.Emit(trace.KindValid, now, cyc, valid)
+		c.tLastValid = valid
+	}
+	if !c.tInit || ready != c.tLastReady {
+		c.sub.Emit(trace.KindReady, now, cyc, ready)
+		c.tLastReady = ready
+	}
+	if !c.tInit || occ != c.tLastOcc {
+		c.sub.Emit(trace.KindOcc, now, cyc, occ)
+		c.tLastOcc = occ
+	}
+	if c.rng != nil && (!c.tInit || stall != c.tLastStall) {
+		c.sub.Emit(trace.KindStall, now, cyc, stall)
+		c.tLastStall = stall
+	}
+	c.tInit = true
 }
 
 // peek returns the head without consuming it.

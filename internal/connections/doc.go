@@ -1,0 +1,35 @@
+// Package connections implements the paper's Connections library:
+// latency-insensitive (LI) channels with unified In/Out ports that are
+// decoupled from the channel kind chosen at integration time (Table 1 and
+// Figure 2 of the paper).
+//
+// Three port-operation cost models are provided, selected per channel:
+//
+//   - ModeSimAccurate (default): the paper's sim-accurate model. Port
+//     operations stage data into endpoint buffers that a kernel-level
+//     channel process flushes at commit, so a thread loop touching any
+//     number of ports advances one cycle per iteration. Elapsed cycles
+//     match RTL throughput.
+//   - ModeSignalAccurate: the paper's synthesizable signal-accurate model.
+//     Every Push/PushNB/Pop/PopNB performs a delayed handshake operation —
+//     drive valid (or ready), wait one cycle, clear, sample the other
+//     side — so multiple port operations in one loop body serialize. This
+//     is the error source measured in Figure 3.
+//   - ModeRTLCosim: keeps the parallel transfer resolution of the
+//     sim-accurate model but packs every message to bits, carries it
+//     through a pipeline-register delay line, and unpacks on delivery.
+//     Elapsed cycles grow slightly (pipeline latency) and wall-clock cost
+//     grows substantially — the two properties measured in Figure 6.
+//
+// Channels can inject random stalls (withholding valid and/or ready) to
+// perturb inter-unit timing without changing design or testbench code,
+// reproducing the paper's verification aid.
+//
+// When a simulation is armed for handshake tracing (sim.Simulator.Arm
+// before channels are bound), every channel additionally emits
+// push/pop/full/empty port outcomes and per-cycle valid/ready/occupancy
+// level changes into the internal/trace recorder under its component
+// path. Disarmed channels cache a nil trace subject and pay one
+// predictable branch per port operation; the armed-only per-cycle
+// monitor hook is not even registered when disarmed.
+package connections

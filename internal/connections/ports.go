@@ -53,7 +53,11 @@ func (p *In[T]) PopNB(th *sim.Thread) (T, bool) {
 	if c.mode == ModeSignalAccurate {
 		th.Wait()
 	}
-	return c.tryPop()
+	v, ok := c.tryPop()
+	if c.sub != nil {
+		c.emitPop(ok)
+	}
+	return v, ok
 }
 
 // Pop blocks until a message is available and returns it. In the
@@ -73,6 +77,9 @@ func (p *In[T]) Pop(th *sim.Thread) T {
 	}
 	for {
 		v, ok := c.tryPop()
+		if c.sub != nil {
+			c.emitPop(ok)
+		}
 		if ok {
 			return v
 		}
@@ -106,12 +113,14 @@ func (p *In[T]) Stats() Stats { return p.need().Stats() }
 // ModeSignalAccurate it charges one Wait (the delayed valid operation).
 func (p *Out[T]) PushNB(th *sim.Thread, v T) bool {
 	c := p.need()
-	if c.mode == ModeSignalAccurate {
-		ok := c.tryPush(v)
-		th.Wait()
-		return ok
+	ok := c.tryPush(v)
+	if c.sub != nil {
+		c.emitPush(ok)
 	}
-	return c.tryPush(v)
+	if c.mode == ModeSignalAccurate {
+		th.Wait()
+	}
+	return ok
 }
 
 // Push blocks until the channel accepts the message. Like Pop, a
@@ -127,7 +136,11 @@ func (p *Out[T]) Push(th *sim.Thread, v T) {
 		}
 	}
 	for {
-		if c.tryPush(v) {
+		ok := c.tryPush(v)
+		if c.sub != nil {
+			c.emitPush(ok)
+		}
+		if ok {
 			return
 		}
 		th.WaitFor(c.pushReady)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // PausibleBisyncFIFO is the pausible bisynchronous FIFO of the paper's
@@ -33,6 +34,13 @@ type PausibleBisyncFIFO[T any] struct {
 	// pauses that edge.
 	window sim.Time
 
+	// Armed handshake tracing; sub is nil when disarmed and every
+	// emission site nil-checks it. The tLast* fields change-detect the
+	// level signals (valid = not empty, ready = not full).
+	sub                    *trace.Subject
+	tInit                  bool
+	tLastValid, tLastReady uint64
+
 	Pauses    uint64 // receiver-clock pauses caused by this FIFO
 	Transfers uint64
 }
@@ -55,6 +63,7 @@ func NewPausibleBisyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim
 	}
 	f.notFull = func() bool { return f.wptr-f.rptr < uint64(len(f.buf)) }
 	f.notEmpty = func() bool { return f.rptr != f.wptr }
+	f.sub = s.Tracer().Subject(name)
 	s.Component(name).Source(func(emit stats.Emit) {
 		emit("pauses", float64(f.Pauses))
 		emit("transfers", float64(f.Transfers))
@@ -80,16 +89,53 @@ func (f *PausibleBisyncFIFO[T]) pauseIfConflict(c *sim.Clock) {
 	if c.NextEdge() < now+f.window {
 		c.Pause(now + f.window)
 		f.Pauses++
+		if f.sub != nil {
+			f.sub.Emit(trace.KindStall, uint64(now), c.Cycle(), 1)
+		}
 	}
+}
+
+// record emits a handshake event plus any valid/ready level changes,
+// stamped with clock c's cycle count (producer clock for push-side
+// events, consumer clock for pop-side events).
+func (f *PausibleBisyncFIFO[T]) record(k trace.Kind, c *sim.Clock) {
+	now, cyc := uint64(f.s.Now()), c.Cycle()
+	occ := uint64(f.Occupancy())
+	f.sub.Emit(k, now, cyc, occ)
+	var valid, ready uint64
+	if f.rptr != f.wptr {
+		valid = 1
+	}
+	if f.wptr-f.rptr < uint64(len(f.buf)) {
+		ready = 1
+	}
+	if !f.tInit || valid != f.tLastValid {
+		f.sub.Emit(trace.KindValid, now, cyc, valid)
+		f.tLastValid = valid
+	}
+	if !f.tInit || ready != f.tLastReady {
+		f.sub.Emit(trace.KindReady, now, cyc, ready)
+		f.tLastReady = ready
+	}
+	if k == trace.KindPush || k == trace.KindPop {
+		f.sub.Emit(trace.KindOcc, now, cyc, occ)
+	}
+	f.tInit = true
 }
 
 // PushNB offers v from the producer domain. It returns false when full.
 func (f *PausibleBisyncFIFO[T]) PushNB(v T) bool {
 	if f.wptr-f.rptr >= uint64(len(f.buf)) {
+		if f.sub != nil {
+			f.record(trace.KindFull, f.prod)
+		}
 		return false
 	}
 	f.buf[f.wptr%uint64(len(f.buf))] = entry[T]{v: v}
 	f.wptr++
+	if f.sub != nil {
+		f.record(trace.KindPush, f.prod)
+	}
 	// The write pointer crosses toward the consumer clock now.
 	f.pauseIfConflict(f.cons)
 	return true
@@ -108,11 +154,17 @@ func (f *PausibleBisyncFIFO[T]) Push(th *sim.Thread, v T) {
 func (f *PausibleBisyncFIFO[T]) PopNB() (T, bool) {
 	var zero T
 	if f.rptr == f.wptr {
+		if f.sub != nil {
+			f.record(trace.KindEmpty, f.cons)
+		}
 		return zero, false
 	}
 	v := f.buf[f.rptr%uint64(len(f.buf))].v
 	f.rptr++
 	f.Transfers++
+	if f.sub != nil {
+		f.record(trace.KindPop, f.cons)
+	}
 	// The read pointer crosses toward the producer clock now.
 	f.pauseIfConflict(f.prod)
 	return v, true

@@ -1,0 +1,13 @@
+// Package gals implements the paper's fine-grained globally-asynchronous
+// locally-synchronous clocking (§3.1): per-partition local clock
+// generators with supply-noise-adaptive frequency, pausible bisynchronous
+// FIFOs for low-latency error-free clock-domain crossings (Keller et al.,
+// ASYNC'15), a brute-force two-flop synchronizer FIFO as the baseline,
+// and the area-overhead model behind the paper's <3% claim.
+//
+// On an armed simulation (sim.Simulator.Arm) each pausible FIFO also
+// records its crossings into the internal/trace recorder: push/pop
+// outcomes with valid/ready/occupancy levels stamped in the clock
+// domain that performed the operation, and one stall event per
+// receiver-clock pause.
+package gals

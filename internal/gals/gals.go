@@ -1,9 +1,3 @@
-// Package gals implements the paper's fine-grained globally-asynchronous
-// locally-synchronous clocking (§3.1): per-partition local clock
-// generators with supply-noise-adaptive frequency, pausible bisynchronous
-// FIFOs for low-latency error-free clock-domain crossings (Keller et al.,
-// ASYNC'15), a brute-force two-flop synchronizer FIFO as the baseline,
-// and the area-overhead model behind the paper's <3% claim.
 package gals
 
 import (

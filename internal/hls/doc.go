@@ -1,0 +1,13 @@
+// Package hls is the high-level synthesis compiler of the flow: it
+// captures untimed dataflow designs through a builder API (this
+// repository's stand-in for synthesizable C++/SystemC), applies
+// optimization passes, schedules operations into pipeline stages under a
+// clock-period constraint with optional resource limits, and hands the
+// scheduled op graph to internal/synth for technology mapping.
+//
+// The compiler reproduces the structural effects the paper reports from
+// Catapult: variable-index writes unroll into priority-mux chains
+// (the src-loop crossbar penalty of §2.4), variable-index reads into
+// balanced select-mux trees (dst-loop), pipelining inserts register banks
+// at stage cuts, and scheduling time scales with the unrolled op count.
+package hls

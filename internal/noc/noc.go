@@ -1,8 +1,3 @@
-// Package noc implements the MatchLib network-on-chip modules: the
-// store-and-forward router (SFRouter), the wormhole router with virtual
-// channels (WHVCRouter), network interfaces that packetize/depacketize
-// messages, and mesh/ring topology builders. The prototype SoC's PE array
-// uses a WHVC mesh, as in the paper's Figure 5.
 package noc
 
 import (

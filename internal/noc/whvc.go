@@ -6,6 +6,7 @@ import (
 	"repro/internal/connections"
 	"repro/internal/matchlib"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // WHVCRouter is the wormhole router with virtual channels from Table 2.
@@ -26,6 +27,9 @@ type WHVCRouter struct {
 	arbs         []*matchlib.Arbiter // [outPort] over inPort*nVCs requesters
 	route        RouteFunc
 	vcMap        VCMapFunc
+
+	clk *sim.Clock
+	sub *trace.Subject // armed handshake tracing; nil when disarmed
 }
 
 type outLock struct {
@@ -54,6 +58,8 @@ func NewWHVCRouter(clk *sim.Clock, name string, nPorts, nVCs int, route RouteFun
 		arbs:   make([]*matchlib.Arbiter, nPorts),
 		route:  route,
 		vcMap:  vcMap,
+		clk:    clk,
+		sub:    clk.Sim().Tracer().Subject(name),
 	}
 	for i := 0; i < nPorts; i++ {
 		r.In[i] = make([]*connections.In[Flit], nVCs)
@@ -142,6 +148,11 @@ func (r *WHVCRouter) forward(th *sim.Thread, o, i, v int) bool {
 	f.VC = vOut
 	if !r.Out[o][vOut].PushNB(th, f) {
 		r.Stats.Stalls++
+		if r.sub != nil {
+			// Router-level back-pressure: the crossbar had a flit for
+			// output o but the downstream VC buffer refused it.
+			r.sub.Emit(trace.KindFull, uint64(r.clk.Sim().Now()), r.clk.Cycle(), uint64(o))
+		}
 		return false
 	}
 	if _, ok := r.In[i][v].PopNB(th); !ok {

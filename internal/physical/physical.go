@@ -1,9 +1,3 @@
-// Package physical is the back-end substrate of the flow (§3 of the
-// paper): hierarchical partitioning, a shelf floorplanner with
-// no-overlap/containment invariants, Rent's-rule wirelength estimation,
-// clock distribution models for fully-synchronous versus fine-grained
-// GALS chips, and the flow-runtime model behind the paper's 12-hour
-// RTL-to-layout turnaround claim.
 package physical
 
 import (

@@ -1,7 +1,3 @@
-// Package power is the power-analysis substrate of the flow (the Power
-// Analysis stage of the paper's Figure 1): an activity-based model that
-// converts netlist switching activity, SRAM access counts, and gate
-// counts into dynamic and leakage power estimates for a 16nm-class node.
 package power
 
 import (

@@ -1,0 +1,6 @@
+// Package riscv is an RV32I instruction-set simulator standing in for the
+// Chisel-generated Rocket core of the prototype SoC (paper Figure 5).
+// The paper uses the RISC-V processor as the global controller that
+// configures PEs and global memory and orchestrates data movement; this
+// ISA-level model drives the same memory-mapped control paths.
+package riscv

@@ -1,7 +1,3 @@
-// Package rtl holds the gate-level netlist representation produced by
-// logic synthesis (internal/synth), a levelized cycle-accurate netlist
-// simulator (this repository's substitute for the commercial Verilog
-// simulator in the paper's Table 3), and a structural Verilog writer.
 package rtl
 
 import (

@@ -1,12 +1,3 @@
-// Package soc models the paper's prototype SoC (Figure 5): a 4×4 array
-// of processing elements — each with a scratchpad, a vector datapath, a
-// control unit and a router interface — connected by a wormhole
-// virtual-channel NoC to two banked global-memory partitions, an RV32I
-// control processor, and an I/O partition. The whole design is assembled
-// from MatchLib components over Connections channels and can run
-// single-clock or with fine-grained GALS clocking (one local clock
-// generator per partition, pausible bisynchronous FIFOs on every
-// partition crossing).
 package soc
 
 import (

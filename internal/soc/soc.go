@@ -39,6 +39,13 @@ type Config struct {
 	StallSeed    int64
 	ClockPS      sim.Time // nominal partition clock period
 
+	// Trace arms channel-level handshake tracing for the whole chip:
+	// every LI channel, router, and pausible CDC FIFO records push/pop
+	// and valid/ready/occupancy events into a per-simulator recorder
+	// (see SoC.Tracer). Off by default — the disarmed path is a single
+	// nil check per port operation.
+	Trace bool
+
 	// ShadowNetlists attaches a gate-level model of each PE's MAC
 	// datapath lane, evaluated through the rtl simulator every cycle in
 	// ModeRTLCosim — the cost that makes RTL cosimulation wall-clock
@@ -88,6 +95,12 @@ type tracedChan struct {
 	ch   connections.Channel[noc.Packet]
 }
 
+// Tracer returns the armed handshake-event recorder, or nil when the
+// SoC was built with Config.Trace false. After Run, feed it to
+// Recorder.WriteVCD for waveforms or Recorder.Analyze for the
+// backpressure/deadlock report.
+func (s *SoC) Tracer() *trace.Recorder { return s.Sim.Tracer() }
+
 // TraceChannels streams every node's packet inject/eject channel state
 // (occupancy, valid, ready) into a VCD waveform — the SoC-level slice of
 // the flow's signal trace. Call before Run.
@@ -100,6 +113,11 @@ func (s *SoC) TraceChannels(v *trace.VCD) {
 // New builds the SoC and loads the firmware into the controller.
 func New(cfg Config, firmware []uint32) *SoC {
 	s := &SoC{Sim: sim.New(), Cfg: cfg}
+	if cfg.Trace {
+		// Components capture their trace subject at construction, so the
+		// recorder must be armed before anything below is built.
+		s.Sim.Arm(trace.NewRecorder())
+	}
 	var pauses []*gals.PausibleBisyncFIFO[noc.Flit]
 
 	// Clocks: fine-grained GALS gives every partition its own generator

@@ -1,6 +1,7 @@
 package soc
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -13,6 +14,11 @@ const maxCycles = 5_000_000
 
 func runCase(t *testing.T, tc TestCase, cfg Config) uint64 {
 	t.Helper()
+	// SOC_TRACE=1 runs the whole suite with channel tracing armed — the
+	// CI variant proving an armed chip still passes every system test.
+	if os.Getenv("SOC_TRACE") == "1" {
+		cfg.Trace = true
+	}
 	s, verify := tc.Build(cfg)
 	cycles, err := s.Run(maxCycles)
 	if err != nil {

@@ -1,0 +1,270 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// HistBuckets caps the per-channel occupancy histogram: dwell time at
+// occupancy >= HistBuckets-1 lands in the last bucket.
+const HistBuckets = 16
+
+// ChannelReport summarizes one subject's recorded handshake activity.
+type ChannelReport struct {
+	Path string
+
+	Pushes      uint64 // accepted producer transfers
+	Pops        uint64 // accepted consumer transfers
+	Fulls       uint64 // rejected push attempts (back-pressure)
+	Empties     uint64 // rejected pop attempts (starvation)
+	StallEvents uint64 // injected-stall activations / clock pauses
+
+	MaxOcc   uint64
+	FinalOcc uint64 // committed occupancy at end of recording
+
+	// Utilization is delivered transfers per observed cycle of the
+	// subject's clock (1.0 = a transfer every cycle), over the span from
+	// the subject's first event to the end of the recording.
+	Utilization float64
+	// Backpressure is the fraction of push attempts the channel refused.
+	Backpressure float64
+	// OccHist is dwell time (in subject-clock cycles) at each committed
+	// occupancy level; index HistBuckets-1 aggregates everything above.
+	OccHist []float64
+
+	// Suspect flags a never-draining channel: it still holds messages at
+	// the end of the recording and no pop succeeded within the last
+	// horizon cycles — the cycle-bounded deadlock/livelock signature.
+	Suspect bool
+	// Reason is the human-readable suspect justification ("" otherwise).
+	Reason string
+}
+
+// Report is the result of Recorder.Analyze over one recording.
+type Report struct {
+	Channels []ChannelReport // natural path order
+	Suspects []string        // paths of suspect channels, natural order
+	EndTime  uint64          // last recorded event time (ps)
+	Events   int
+	Dropped  uint64
+}
+
+// subjectAcc accumulates one subject's statistics during the replay.
+type subjectAcc struct {
+	seen                bool
+	firstTime, lastTime uint64
+	firstCycle, lastCyc uint64
+	pushes, pops        uint64
+	fulls, empties      uint64
+	stalls              uint64
+	maxOcc, occ         uint64
+	occSince            uint64 // time the current occupancy level was entered
+	dwellPS             [HistBuckets]uint64
+	popEver             bool
+	lastPopTime         uint64
+}
+
+// Analyze replays the recorded events into per-channel reports and flags
+// never-draining channels. horizon is the deadlock bound in cycles of
+// each subject's own clock: a channel that still holds messages and saw
+// no successful pop within the last horizon cycles is a suspect. The
+// pass is pure observation — it can run any number of times on the same
+// recording and is deterministic for a deterministic event stream.
+func (r *Recorder) Analyze(horizon uint64) *Report {
+	accs := make([]subjectAcc, len(r.subjects))
+	var endTime uint64
+	for _, e := range r.events {
+		a := &accs[e.Subject]
+		if !a.seen {
+			a.seen = true
+			a.firstTime, a.firstCycle = e.Time, e.Cycle
+			a.occSince = e.Time
+		}
+		a.lastTime, a.lastCyc = e.Time, e.Cycle
+		if e.Time > endTime {
+			endTime = e.Time
+		}
+		switch e.Kind {
+		case KindPush:
+			a.pushes++
+		case KindPop:
+			a.pops++
+			a.popEver = true
+			a.lastPopTime = e.Time
+		case KindFull:
+			a.fulls++
+		case KindEmpty:
+			a.empties++
+		case KindStall:
+			// Channels change-detect the stall level, so each activation is
+			// one nonzero event; pausible FIFOs emit one event per clock
+			// pause. Either way a nonzero event is one stall occurrence.
+			if e.Value != 0 {
+				a.stalls++
+			}
+		case KindOcc:
+			a.dwellPS[histBucket(a.occ)] += e.Time - a.occSince
+			a.occSince = e.Time
+			a.occ = e.Value
+			if e.Value > a.maxOcc {
+				a.maxOcc = e.Value
+			}
+		}
+	}
+
+	// Fallback period for subjects whose recording spans <2 cycles: the
+	// mean observed period across all subjects, then 1000 ps.
+	var sumPS, sumCyc uint64
+	for i := range accs {
+		a := &accs[i]
+		if a.seen && a.lastCyc > a.firstCycle {
+			sumPS += a.lastTime - a.firstTime
+			sumCyc += a.lastCyc - a.firstCycle
+		}
+	}
+	fallback := uint64(1000)
+	if sumCyc > 0 {
+		fallback = sumPS / sumCyc
+		if fallback == 0 {
+			fallback = 1
+		}
+	}
+
+	rep := &Report{EndTime: endTime, Events: len(r.events), Dropped: r.dropped}
+	for _, id := range r.sortedSubjects() {
+		a := &accs[id]
+		if !a.seen {
+			continue
+		}
+		period := fallback
+		if a.lastCyc > a.firstCycle {
+			period = (a.lastTime - a.firstTime) / (a.lastCyc - a.firstCycle)
+			if period == 0 {
+				period = 1
+			}
+		}
+		// Close the final occupancy dwell out to the end of the recording.
+		a.dwellPS[histBucket(a.occ)] += endTime - a.occSince
+
+		cr := ChannelReport{
+			Path:        r.subjects[id].path,
+			Pushes:      a.pushes,
+			Pops:        a.pops,
+			Fulls:       a.fulls,
+			Empties:     a.empties,
+			StallEvents: a.stalls,
+			MaxOcc:      a.maxOcc,
+			FinalOcc:    a.occ,
+		}
+		spanCycles := (endTime - a.firstTime) / period
+		if spanCycles == 0 {
+			spanCycles = 1
+		}
+		cr.Utilization = float64(a.pops) / float64(spanCycles)
+		if att := a.pushes + a.fulls; att > 0 {
+			cr.Backpressure = float64(a.fulls) / float64(att)
+		}
+		cr.OccHist = make([]float64, HistBuckets)
+		for b, ps := range a.dwellPS {
+			cr.OccHist[b] = float64(ps) / float64(period)
+		}
+		if a.occ > 0 {
+			horizonPS := horizon * period
+			switch {
+			case !a.popEver:
+				cr.Suspect = true
+				cr.Reason = fmt.Sprintf("holds %d message(s), no pop ever succeeded", a.occ)
+			case endTime-a.lastPopTime > horizonPS:
+				cr.Suspect = true
+				cr.Reason = fmt.Sprintf("holds %d message(s), last pop %d cycles before end (bound %d)",
+					a.occ, (endTime-a.lastPopTime)/period, horizon)
+			}
+		}
+		if cr.Suspect {
+			rep.Suspects = append(rep.Suspects, cr.Path)
+		}
+		rep.Channels = append(rep.Channels, cr)
+	}
+	return rep
+}
+
+func histBucket(occ uint64) int {
+	if occ >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return int(occ)
+}
+
+// Summary renders the report as deterministic human-readable lines, one
+// per channel, suspects tagged — the diagnosis text attached to failing
+// stall-hunt campaigns.
+func (rep *Report) Summary() []string {
+	out := make([]string, 0, len(rep.Channels)+1)
+	for _, c := range rep.Channels {
+		line := fmt.Sprintf("%s: util=%.3f backpressure=%.3f push=%d pop=%d full=%d empty=%d max_occ=%d",
+			c.Path, c.Utilization, c.Backpressure, c.Pushes, c.Pops, c.Fulls, c.Empties, c.MaxOcc)
+		if c.Suspect {
+			line += " ← SUSPECT: " + c.Reason
+		}
+		out = append(out, line)
+	}
+	if len(rep.Suspects) > 0 {
+		out = append(out, fmt.Sprintf("%d never-draining channel(s): deadlock/livelock suspects", len(rep.Suspects)))
+	}
+	return out
+}
+
+// Metrics renders the report in the stats registry format, rooted at
+// prefix (conventionally "trace"): per-channel utilization, backpressure
+// and occupancy-histogram metrics under "<prefix>/<channel path>", and
+// recording-level counters under prefix itself.
+func (rep *Report) Metrics(prefix string) []stats.Metric {
+	if prefix == "" {
+		prefix = "trace"
+	}
+	ms := []stats.Metric{
+		{Path: prefix, Name: "channels", Value: float64(len(rep.Channels))},
+		{Path: prefix, Name: "suspects", Value: float64(len(rep.Suspects))},
+		{Path: prefix, Name: "events", Value: float64(rep.Events)},
+		{Path: prefix, Name: "dropped", Value: float64(rep.Dropped)},
+	}
+	for _, c := range rep.Channels {
+		p := prefix + "/" + c.Path
+		suspect := 0.0
+		if c.Suspect {
+			suspect = 1
+		}
+		ms = append(ms,
+			stats.Metric{Path: p, Name: "utilization", Value: c.Utilization},
+			stats.Metric{Path: p, Name: "backpressure", Value: c.Backpressure},
+			stats.Metric{Path: p, Name: "pushes", Value: float64(c.Pushes)},
+			stats.Metric{Path: p, Name: "pops", Value: float64(c.Pops)},
+			stats.Metric{Path: p, Name: "fulls", Value: float64(c.Fulls)},
+			stats.Metric{Path: p, Name: "empties", Value: float64(c.Empties)},
+			stats.Metric{Path: p, Name: "stall_events", Value: float64(c.StallEvents)},
+			stats.Metric{Path: p, Name: "max_occ", Value: float64(c.MaxOcc)},
+			stats.Metric{Path: p, Name: "final_occ", Value: float64(c.FinalOcc)},
+			stats.Metric{Path: p, Name: "suspect", Value: suspect},
+		)
+		for b, cyc := range c.OccHist {
+			if cyc != 0 {
+				ms = append(ms, stats.Metric{Path: p, Name: fmt.Sprintf("occ_cycles[%d]", b), Value: cyc})
+			}
+		}
+	}
+	stats.SortMetrics(ms)
+	return ms
+}
+
+// Publish registers the report's metrics as a snapshot source on reg, so
+// trace-derived figures land in the same tree and JSON dumps as every
+// simulated component's counters.
+func (rep *Report) Publish(reg *stats.Registry, prefix string) {
+	ms := rep.Metrics(prefix)
+	reg.TreeSource(func(emit stats.EmitAt) {
+		for _, m := range ms {
+			emit(m.Path, m.Name, m.Value)
+		}
+	})
+}

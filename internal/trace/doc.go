@@ -1,0 +1,40 @@
+// Package trace is the channel-level observability layer of the flow:
+// handshake-event recording for every latency-insensitive channel,
+// waveform rendering, and a backpressure/deadlock analysis pass. It is
+// this repository's stand-in for the FSDB signal traces the paper's
+// flow feeds into debug and power analysis (Figure 1), specialized to
+// the LI-channel abstraction the whole design communicates through
+// (§2.1, Table 1).
+//
+// The layer has three parts:
+//
+//   - Recorder/Subject: the event API. A simulation armed with a
+//     Recorder (sim.Simulator.Arm, before design construction) hands
+//     every channel, router, and CDC FIFO a *Subject interned by its
+//     hierarchical component path — the same path scheme that keys the
+//     internal/stats registry ("soc/pe[3]/inject"). Components emit
+//     push/pop/full/empty port outcomes and valid/ready/occupancy/stall
+//     level changes. Disarmed simulations carry a nil subject, so the
+//     cost is one predictable branch per port operation (enforced by
+//     the connections disarmed-overhead guard benchmark).
+//   - Recorder.WriteVCD: the waveform sink. The recorded stream renders
+//     as per-channel valid/ready/occ (and stall) signals through the
+//     VCD writer in this package, with component paths becoming nested
+//     $scope module hierarchies so partitions group in GTKWave.
+//   - Recorder.Analyze: the diagnosis pass. Events replay into
+//     per-channel utilization and backpressure figures, occupancy-dwell
+//     histograms, and a cycle-bounded never-draining-channel rule that
+//     flags deadlock/livelock suspects; reports publish into the stats
+//     registry and auto-attach to failing stall-hunt campaigns
+//     (internal/verif).
+//
+// Recording is pure observation and per-simulator (no globals), so
+// traced runs are cycle-identical to untraced runs and event streams
+// are bit-identical under any parallelism of the internal/exp campaign
+// runner.
+//
+// The lower-level VCD writer remains directly usable: any clocked model
+// can declare signals (optionally under a module scope via
+// DeclareScoped) and sample them per cycle, which is how the rtl
+// netlist simulator attaches to mapped designs.
+package trace

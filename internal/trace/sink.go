@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"io"
+	"strings"
+)
+
+// vcdSigs is the per-subject signal bundle the sink renders.
+type vcdSigs struct {
+	valid, ready, occ, stall *Signal
+}
+
+// WriteVCD renders the recorded event stream as per-channel
+// valid/ready/occupancy (and injected-stall) waveforms. Each subject's
+// component path becomes a nested $scope module hierarchy, so a
+// partition's channels group together in GTKWave instead of flattening
+// into one namespace. Signals initialize to zero at time zero and events
+// replay at their recorded picosecond timestamps.
+//
+// It returns the dump's sample and value-change counts alongside the
+// first write error, if any.
+func (r *Recorder) WriteVCD(w io.Writer) (samples, changes uint64, err error) {
+	v := NewVCD(w)
+	sigs := make([]vcdSigs, len(r.subjects))
+	occW := r.occWidths()
+	hasStall := make([]bool, len(r.subjects))
+	renderable := make([]bool, len(r.subjects))
+	for _, e := range r.events {
+		switch e.Kind {
+		case KindStall:
+			hasStall[e.Subject] = true
+			renderable[e.Subject] = true
+		case KindValid, KindReady, KindOcc:
+			renderable[e.Subject] = true
+		}
+	}
+	// Declare in natural path order so the header (and therefore the
+	// viewer's tree) lists replicated components by index. Subjects that
+	// recorded only analysis events (e.g. router back-pressure counters)
+	// carry no level signals and are skipped.
+	for _, id := range r.sortedSubjects() {
+		if !renderable[id] {
+			continue
+		}
+		scope := strings.Split(r.subjects[id].path, "/")
+		sigs[id] = vcdSigs{
+			valid: v.DeclareScoped(scope, "valid", 1),
+			ready: v.DeclareScoped(scope, "ready", 1),
+			occ:   v.DeclareScoped(scope, "occ", occW[id]),
+		}
+		if hasStall[id] {
+			sigs[id].stall = v.DeclareScoped(scope, "stall", 2)
+		}
+	}
+	for id, s := range sigs {
+		if !renderable[id] {
+			continue
+		}
+		s.valid.Set(0)
+		s.ready.Set(0)
+		s.occ.Set(0)
+		if s.stall != nil {
+			s.stall.Set(0)
+		}
+	}
+	v.Sample(0)
+
+	events := r.events
+	for i := 0; i < len(events); {
+		t := events[i].Time
+		for i < len(events) && events[i].Time == t {
+			e := events[i]
+			if !renderable[e.Subject] {
+				i++
+				continue
+			}
+			s := sigs[e.Subject]
+			switch e.Kind {
+			case KindValid:
+				s.valid.Set(e.Value)
+			case KindReady:
+				s.ready.Set(e.Value)
+			case KindOcc:
+				s.occ.Set(e.Value)
+			case KindStall:
+				if s.stall != nil {
+					s.stall.Set(e.Value)
+				}
+			}
+			i++
+		}
+		v.Sample(t)
+	}
+	samples, changes = v.Counts()
+	return samples, changes, v.Err()
+}
+
+// occWidths sizes each subject's occupancy bus to its observed maximum.
+func (r *Recorder) occWidths() []int {
+	max := make([]uint64, len(r.subjects))
+	for _, e := range r.events {
+		switch e.Kind {
+		case KindOcc, KindPush, KindPop:
+			if e.Value > max[e.Subject] {
+				max[e.Subject] = e.Value
+			}
+		}
+	}
+	w := make([]int, len(r.subjects))
+	for i, m := range max {
+		w[i] = 1
+		for m > 1 {
+			m >>= 1
+			w[i]++
+		}
+		if w[i] > 64 {
+			w[i] = 64
+		}
+	}
+	return w
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// emitSquareWave records a plausible little handshake history for one
+// subject: valid toggling, occupancy ramping 0→2→0.
+func emitSquareWave(s *Subject) {
+	for i := uint64(0); i < 4; i++ {
+		tm := (i + 1) * 1000
+		s.Emit(KindValid, tm, i, i%2)
+		s.Emit(KindOcc, tm, i, i%3)
+	}
+	s.Emit(KindReady, 5000, 4, 1)
+}
+
+func TestWriteVCDScopesNestByComponentPath(t *testing.T) {
+	r := NewRecorder()
+	emitSquareWave(r.Subject("soc/pe[2]/inject"))
+	emitSquareWave(r.Subject("soc/pe[10]/inject"))
+	emitSquareWave(r.Subject("soc/noc/l[0]/in/vc[1]"))
+
+	var sb strings.Builder
+	if _, _, err := r.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if got, want := strings.Count(out, "$scope module"), strings.Count(out, "$upscope"); got != want {
+		t.Fatalf("unbalanced scopes: %d $scope vs %d $upscope", got, want)
+	}
+	// The component-path hierarchy must appear as nested module scopes,
+	// with numeric siblings in natural order (pe[2] before pe[10]).
+	for _, w := range []string{
+		"$scope module soc $end",
+		"$scope module pe[2] $end",
+		"$scope module pe[10] $end",
+		"$scope module noc $end",
+		"$scope module vc[1] $end",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("missing %q in header:\n%s", w, out)
+		}
+	}
+	if strings.Index(out, "pe[2]") > strings.Index(out, "pe[10]") {
+		t.Fatal("pe[10] declared before pe[2]: not natural order")
+	}
+	// Leaf signals live inside their channel's scope, never flattened
+	// with path separators in the name.
+	if strings.Contains(out, "soc/pe") {
+		t.Fatal("flattened path leaked into the dump")
+	}
+	for _, w := range []string{"valid", "ready", "occ"} {
+		if !strings.Contains(out, " "+w+" ") {
+			t.Fatalf("missing %s var", w)
+		}
+	}
+}
+
+func TestWriteVCDSkipsAnalysisOnlySubjects(t *testing.T) {
+	r := NewRecorder()
+	emitSquareWave(r.Subject("tb/ch"))
+	// A router-style subject that only recorded back-pressure counters
+	// has no level signals and must not clutter the waveform.
+	r.Subject("tb/router").Emit(KindFull, 2000, 2, 1)
+
+	var sb strings.Builder
+	if _, _, err := r.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "router") {
+		t.Fatalf("analysis-only subject rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "$scope module ch $end") {
+		t.Fatalf("traced channel missing:\n%s", out)
+	}
+}
+
+func TestWriteVCDStallSignalOnlyWhenRecorded(t *testing.T) {
+	r := NewRecorder()
+	emitSquareWave(r.Subject("tb/plain"))
+	s := r.Subject("tb/stally")
+	emitSquareWave(s)
+	s.Emit(KindStall, 3000, 3, 2)
+
+	var sb strings.Builder
+	if _, _, err := r.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, " stall "); got != 1 {
+		t.Fatalf("stall declared %d times, want 1:\n%s", got, out)
+	}
+}
+
+func TestWriteVCDOccWidthFitsMaxValue(t *testing.T) {
+	r := NewRecorder()
+	s := r.Subject("tb/deep")
+	s.Emit(KindOcc, 1000, 1, 9) // needs 4 bits
+	var sb strings.Builder
+	if _, _, err := r.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "$var wire 4 ") {
+		t.Fatalf("occ bus not sized to max value:\n%s", sb.String())
+	}
+}
+
+func TestWriteVCDDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRecorder()
+		emitSquareWave(r.Subject("tb/a"))
+		emitSquareWave(r.Subject("tb/b[3]"))
+		var sb strings.Builder
+		if _, _, err := r.WriteVCD(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if build() != build() {
+		t.Fatal("VCD not byte-identical across identical recordings")
+	}
+}

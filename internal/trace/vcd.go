@@ -1,8 +1,3 @@
-// Package trace writes Value Change Dump (VCD) waveforms — this
-// repository's stand-in for the FSDB signal traces the paper's flow
-// feeds into power analysis (Figure 1). Any clocked model can register
-// signals and sample them per cycle; the rtl netlist simulator and the
-// flowrun command attach it to mapped designs.
 package trace
 
 import (
@@ -27,6 +22,7 @@ type VCD struct {
 // Signal is one traced wire or bus.
 type Signal struct {
 	name  string
+	scope []string // enclosing module path under top; nil = top itself
 	width int
 	id    string
 	cur   uint64
@@ -37,16 +33,30 @@ type Signal struct {
 // NewVCD starts a dump with a 1ps timescale.
 func NewVCD(w io.Writer) *VCD { return &VCD{w: w} }
 
-// Declare registers a signal before the first Sample. Declaring after
-// the header is written panics.
+// Declare registers a signal directly under the top scope, before the
+// first Sample. Declaring after the header is written panics.
 func (v *VCD) Declare(name string, width int) *Signal {
+	return v.DeclareScoped(nil, name, width)
+}
+
+// DeclareScoped registers a signal nested inside a module hierarchy:
+// each element of scope becomes one $scope module level under top, so
+// signals from the same component path group together in waveform
+// viewers instead of flattening into one namespace. Scope elements must
+// not contain "/". Declaring after the header is written panics.
+func (v *VCD) DeclareScoped(scope []string, name string, width int) *Signal {
 	if v.headerDone {
 		panic("trace: Declare after first Sample")
 	}
 	if width < 1 || width > 64 {
 		panic(fmt.Sprintf("trace: signal %s width %d", name, width))
 	}
-	s := &Signal{name: name, width: width, id: idCode(len(v.signals))}
+	for _, seg := range scope {
+		if seg == "" || strings.Contains(seg, "/") {
+			panic(fmt.Sprintf("trace: bad scope segment %q for signal %s", seg, name))
+		}
+	}
+	s := &Signal{name: name, scope: append([]string(nil), scope...), width: width, id: idCode(len(v.signals))}
 	v.signals = append(v.signals, s)
 	return s
 }
@@ -97,9 +107,44 @@ func (v *VCD) Err() error { return v.err }
 // far — the dump's activity summary, reported by the CLI tools.
 func (v *VCD) Counts() (samples, changes uint64) { return v.samples, v.changes }
 
+// scopeNode is one module level of the header's $scope tree.
+type scopeNode struct {
+	children map[string]*scopeNode
+	order    []string
+	sigs     []*Signal
+}
+
+func newScopeNode() *scopeNode { return &scopeNode{children: map[string]*scopeNode{}} }
+
+func (n *scopeNode) child(name string) *scopeNode {
+	if c, ok := n.children[name]; ok {
+		return c
+	}
+	c := newScopeNode()
+	n.children[name] = c
+	n.order = append(n.order, name)
+	return c
+}
+
 func (v *VCD) writeHeader() {
+	root := newScopeNode()
+	for _, s := range v.signals {
+		n := root
+		for _, seg := range s.scope {
+			n = n.child(seg)
+		}
+		n.sigs = append(n.sigs, s)
+	}
 	v.printf("$timescale 1ps $end\n$scope module top $end\n")
-	sigs := append([]*Signal(nil), v.signals...)
+	v.writeScope(root)
+	v.printf("$upscope $end\n$enddefinitions $end\n")
+	v.headerDone = true
+}
+
+// writeScope emits a scope level: its signals sorted by name, then each
+// child module (natural path order) as a nested $scope block.
+func (v *VCD) writeScope(n *scopeNode) {
+	sigs := append([]*Signal(nil), n.sigs...)
 	sort.Slice(sigs, func(i, j int) bool { return sigs[i].name < sigs[j].name })
 	for _, s := range sigs {
 		if s.width == 1 {
@@ -108,8 +153,13 @@ func (v *VCD) writeHeader() {
 			v.printf("$var wire %d %s %s [%d:0] $end\n", s.width, s.id, s.name, s.width-1)
 		}
 	}
-	v.printf("$upscope $end\n$enddefinitions $end\n")
-	v.headerDone = true
+	kids := append([]string(nil), n.order...)
+	sort.Slice(kids, func(i, j int) bool { return pathLess(kids[i], kids[j]) })
+	for _, name := range kids {
+		v.printf("$scope module %s $end\n", name)
+		v.writeScope(n.children[name])
+		v.printf("$upscope $end\n")
+	}
 }
 
 func (v *VCD) printf(format string, args ...any) {

@@ -1,0 +1,13 @@
+// Package verif provides the verification aids of the paper's flow: test
+// coverage counters (the substitute for the C++ coverage tool in
+// Table 3), scoreboards for loss/duplication/reorder checking, and the
+// stall-injection experiment demonstrating that randomly perturbing
+// channel timing uncovers corner cases that nominal-timing simulation
+// misses (§2.3, §4 Verification).
+//
+// The stall hunt integrates with channel-level tracing
+// (internal/trace): RunStallHuntTraced returns the armed recorder for
+// waveform dumps, and a failing RunStallHuntCampaign re-runs its first
+// failing seed traced and attaches the per-channel
+// backpressure/deadlock diagnosis to the aggregate.
+package verif

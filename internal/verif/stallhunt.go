@@ -7,6 +7,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/matchlib"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // This file is the paper's stall-injection demonstration (§2.3): a merge
@@ -62,6 +63,16 @@ type StallHuntCampaign struct {
 	CornerSeeds     int               // seeds that reached the buggy corner state
 	MaxTimingStates int               // best timing-state coverage of any seed
 	TotalDelivered  int
+
+	// FirstBugIndex is the lowest seed index whose scoreboard caught the
+	// bug (-1 when every seed passed), and FirstBugSeed its derived stall
+	// seed — enough to re-run that exact failure standalone.
+	FirstBugIndex int
+	FirstBugSeed  int64
+	// Diagnosis is the channel-level trace analysis of the first failing
+	// seed, re-run with tracing armed: one line per channel plus a
+	// suspect roll-up (Report.Summary). Empty when no seed failed.
+	Diagnosis []string
 }
 
 // RunStallHuntCampaign runs the stall-injection testbench under nSeeds
@@ -80,8 +91,8 @@ func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int
 		}
 	}
 	s := exp.Run(jobs, exp.Named("stallhunt"), exp.Seed(campaignSeed), exp.Parallel(parallel))
-	var agg StallHuntCampaign
-	for _, r := range s.Results {
+	agg := StallHuntCampaign{FirstBugIndex: -1}
+	for i, r := range s.Results {
 		res, ok := r.Value.(StallHuntResult)
 		if !ok {
 			continue
@@ -89,6 +100,9 @@ func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int
 		agg.Results = append(agg.Results, res)
 		if len(res.Errors) > 0 {
 			agg.BugSeeds++
+			if agg.FirstBugIndex < 0 {
+				agg.FirstBugIndex = i
+			}
 		}
 		if res.CornerCovered {
 			agg.CornerSeeds++
@@ -98,13 +112,49 @@ func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int
 		}
 		agg.TotalDelivered += res.Delivered
 	}
+	// Auto-diagnose a failing campaign: re-run the first failing seed with
+	// the tracer armed and attach the channel-level analysis. The re-run
+	// happens here, sequentially, on the job's derived seed — so the
+	// diagnosis text is bit-identical for any worker count, and passing
+	// campaigns pay nothing.
+	if agg.FirstBugIndex >= 0 {
+		agg.FirstBugSeed = exp.DeriveSeed(campaignSeed, fmt.Sprintf("seed[%d]", agg.FirstBugIndex))
+		_, rec := RunStallHuntTraced(pStall, agg.FirstBugSeed, messages)
+		agg.Diagnosis = rec.Analyze(DiagnosisHorizon).Summary()
+	}
 	return agg, s
 }
+
+// DiagnosisHorizon is the deadlock bound (in DUT-clock cycles) used by
+// the campaign auto-diagnosis: a channel still holding messages with no
+// successful pop in this many trailing cycles is flagged as a suspect.
+// The stall-hunt checker gives up after 3000 idle cycles, so a channel
+// quiet for 1000 cycles at the end of the run is genuinely wedged, not
+// merely slow.
+const DiagnosisHorizon = 1000
 
 // RunStallHunt runs the seeded-bug testbench. pStall = 0 reproduces
 // nominal timing; pStall > 0 enables the paper's stall injection.
 func RunStallHunt(pStall float64, seed int64, messages int) StallHuntResult {
+	return runStallHunt(pStall, seed, messages, nil)
+}
+
+// RunStallHuntTraced runs the same testbench with channel-level tracing
+// armed, returning the recorder alongside the result. Feed the recorder
+// to Recorder.WriteVCD for a waveform of the failure or to
+// Recorder.Analyze for the backpressure/deadlock report. Tracing is pure
+// observation, so the result is cycle-identical to RunStallHunt with the
+// same arguments.
+func RunStallHuntTraced(pStall float64, seed int64, messages int) (StallHuntResult, *trace.Recorder) {
+	rec := trace.NewRecorder()
+	return runStallHunt(pStall, seed, messages, rec), rec
+}
+
+func runStallHunt(pStall float64, seed int64, messages int, rec *trace.Recorder) StallHuntResult {
 	s := sim.New()
+	if rec != nil {
+		s.Arm(rec)
+	}
 	clk := s.AddClock("clk", 1000, 0)
 	cov := NewCoverage()
 	cov.Attach(s.Metrics(), "verif/coverage")

@@ -1,0 +1,87 @@
+package verif
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTracedStallHuntMatchesUntraced: arming the recorder must not
+// change a single observable of the run — tracing is pure observation.
+func TestTracedStallHuntMatchesUntraced(t *testing.T) {
+	plain := RunStallHunt(0.30, 11, 120)
+	traced, rec := RunStallHuntTraced(0.30, 11, 120)
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("results diverged:\nuntraced %+v\ntraced   %+v", plain, traced)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	for _, p := range rec.Paths() {
+		if p == "a" || p == "b" || p == "m" {
+			continue
+		}
+		t.Fatalf("unexpected traced subject %q", p)
+	}
+}
+
+// TestTracedStallHuntEventStreamDeterministic: the same seed must give
+// a bit-identical event stream run to run — the property that keeps
+// traced artifacts reproducible from a campaign's failure report.
+func TestTracedStallHuntEventStreamDeterministic(t *testing.T) {
+	_, a := RunStallHuntTraced(0.30, 3, 100)
+	_, b := RunStallHuntTraced(0.30, 3, 100)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatalf("event streams diverge: %d vs %d events", a.Len(), b.Len())
+	}
+	var va, vb bytes.Buffer
+	if _, _, err := a.WriteVCD(&va); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.WriteVCD(&vb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(va.Bytes(), vb.Bytes()) {
+		t.Fatal("VCD dumps differ for identical seeds")
+	}
+}
+
+// TestCampaignDiagnosisDeterministicAcrossParallelism: the failing
+// campaign's auto-attached diagnosis (which re-runs the first failing
+// seed traced) must be identical whether the campaign ran on one worker
+// or eight.
+func TestCampaignDiagnosisDeterministicAcrossParallelism(t *testing.T) {
+	seq, _ := RunStallHuntCampaign(0.30, 120, 6, 7, 1)
+	par, _ := RunStallHuntCampaign(0.30, 120, 6, 7, 8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("campaign aggregate diverges across parallelism:\nseq %+v\npar %+v", seq, par)
+	}
+	if seq.BugSeeds == 0 {
+		t.Skip("no seed exposed the bug at this configuration")
+	}
+	if seq.FirstBugIndex < 0 || len(seq.Diagnosis) == 0 {
+		t.Fatalf("failing campaign carries no diagnosis: index %d, %d lines",
+			seq.FirstBugIndex, len(seq.Diagnosis))
+	}
+	// The diagnosis covers the testbench's three channels.
+	text := strings.Join(seq.Diagnosis, "\n")
+	for _, ch := range []string{"a:", "b:", "m:"} {
+		if !strings.Contains(text, ch) {
+			t.Fatalf("diagnosis lacks channel %q:\n%s", ch, text)
+		}
+	}
+}
+
+// TestPassingCampaignHasNoDiagnosis: nominal timing exposes nothing, so
+// the campaign must not pay for (or attach) a traced re-run.
+func TestPassingCampaignHasNoDiagnosis(t *testing.T) {
+	agg, _ := RunStallHuntCampaign(0, 120, 3, 7, 2)
+	if agg.BugSeeds != 0 {
+		t.Fatalf("nominal timing exposed the bug: %+v", agg)
+	}
+	if agg.FirstBugIndex != -1 || agg.Diagnosis != nil {
+		t.Fatalf("passing campaign carries failure artifacts: index %d, diagnosis %v",
+			agg.FirstBugIndex, agg.Diagnosis)
+	}
+}

@@ -1,9 +1,3 @@
-// Package verif provides the verification aids of the paper's flow: test
-// coverage counters (the substitute for the C++ coverage tool in
-// Table 3), scoreboards for loss/duplication/reorder checking, and the
-// stall-injection experiment demonstrating that randomly perturbing
-// channel timing uncovers corner cases that nominal-timing simulation
-// misses (§2.3, §4 Verification).
 package verif
 
 import (
