@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench vet
+.PHONY: build test check bench vet lint
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,13 @@ build:
 test: build
 	$(GO) test ./...
 
-# Fast correctness tier for scheduler/channel work: vet everything, then
-# race-test the packages whose concurrency the kernel refactor touches
-# (plus the campaign runner's worker pool and the tracing layer), run the
-# full SoC suite with channel tracing armed, and enforce the disarmed
-# tracing overhead budget (<= 2% over the untraced primitives).
-check:
-	$(GO) vet ./...
+# Fast correctness tier for scheduler/channel work: vet everything
+# (including the determinism vet), then race-test the packages whose
+# concurrency the kernel refactor touches (plus the campaign runner's
+# worker pool and the tracing layer), run the full SoC suite with channel
+# tracing armed, and enforce the disarmed tracing overhead budget
+# (<= 2% over the untraced primitives).
+check: vet
 	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp ./internal/trace
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
@@ -22,5 +22,14 @@ check:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
+# go vet plus the repo's determinism vet: the kernel packages must never
+# read wall-clock time, touch the global math/rand source, or iterate
+# maps into ordered output.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/detvet
+
+# Static design-rule check of every shipped SoC design, both clockings.
+lint:
+	$(GO) run ./cmd/socsim -test all -lint
+	$(GO) run ./cmd/socsim -test all -gals -lint

@@ -110,7 +110,7 @@ func benchCrossing(b *testing.B, pausible bool) {
 		f := gals.NewPausibleBisyncFIFO[int](s, "pf", tx, rx, 4, 40)
 		push, popNB = f.Push, f.PopNB
 	} else {
-		f := gals.NewBruteForceSyncFIFO[int](tx, rx, 4)
+		f := gals.NewBruteForceSyncFIFO[int](s, "bf", tx, rx, 4)
 		push, popNB = f.Push, f.PopNB
 	}
 	tx.Spawn("p", func(th *sim.Thread) {

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOn(t *testing.T, src string) []finding {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFlagsTimeImport(t *testing.T) {
+	fs := runOn(t, `package x
+import "time"
+var T = time.Now
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, `imports "time"`) {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestFlagsGlobalRand(t *testing.T) {
+	fs := runOn(t, `package x
+import "math/rand"
+func f() int { return rand.Intn(4) }
+func g() *rand.Rand { return rand.New(rand.NewSource(1)) }
+`)
+	if len(fs) != 1 || !strings.Contains(fs[0].msg, "rand.Intn") {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestFlagsMapRange(t *testing.T) {
+	fs := runOn(t, `package x
+type s struct{ m map[int]int }
+func f(v *s) {
+	for k := range v.m {
+		_ = k
+	}
+	local := make(map[string]bool)
+	for k := range local {
+		_ = k
+	}
+}
+func g(slice []int) {
+	for i := range slice {
+		_ = i
+	}
+}
+`)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %+v, want the two map ranges only", fs)
+	}
+}
+
+func TestLocalMapsDoNotLeakAcrossFunctions(t *testing.T) {
+	// A map named "out" in one function must not taint a slice named
+	// "out" in another.
+	fs := runOn(t, `package x
+func a() {
+	out := make(map[int]int)
+	_ = out
+}
+func b(out []int) {
+	for i := range out {
+		_ = i
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none", fs)
+	}
+}
+
+func TestWaiverComment(t *testing.T) {
+	fs := runOn(t, `package x
+func f() {
+	m := make(map[int]int)
+	for k := range m { //detvet:ok keys are summed, order-free
+		_ = k
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want waived", fs)
+	}
+}

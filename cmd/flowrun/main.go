@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hls"
+	"repro/internal/lint"
 	"repro/internal/rtl"
 	"repro/internal/synth"
 	"repro/internal/trace"
@@ -72,6 +73,15 @@ func main() {
 	flow := core.DefaultFlow()
 	flow.Cons.ClockPS = *clock
 	flow.Cons.MaxMuls = *maxMuls
+
+	// Lint the captured IR before spending flow time on it; error-severity
+	// findings (invalid SSA, duplicate ports) fail fast.
+	if lr := lint.CheckHLS(build()); len(lr.Diags) > 0 {
+		lr.WriteTree(os.Stderr)
+		if lr.Errors() > 0 {
+			os.Exit(1)
+		}
+	}
 
 	rep, err := flow.Run(build(), *vectors, 1)
 	if err != nil {

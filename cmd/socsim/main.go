@@ -8,6 +8,7 @@
 //	socsim -test vecadd -stall 0.2 -seed 3
 //	socsim -test memcpy -vcd out.vcd      # per-channel waveforms, GTKWave-ready
 //	socsim -test memcpy -trace            # backpressure/deadlock report
+//	socsim -test all -lint                # static design-rule check, no simulation
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/connections"
+	"repro/internal/lint"
 	"repro/internal/soc"
 	"repro/internal/trace"
 )
@@ -35,6 +37,8 @@ func main() {
 	traceF := flag.Bool("trace", false, "arm channel tracing and print the per-channel backpressure/deadlock report")
 	horizon := flag.Uint64("horizon", 1000, "deadlock bound for -trace, in cycles of each channel's clock")
 	maxCycles := flag.Uint64("maxcycles", 10_000_000, "cycle budget")
+	lintF := flag.Bool("lint", false, "statically lint the selected designs (CDC/deadlock/connectivity rules) and exit without simulating")
+	lintJSON := flag.String("lintjson", "", "write the combined lint diagnostics as JSON to this file (implies -lint)")
 	flag.Parse()
 
 	cfg := soc.DefaultConfig()
@@ -54,6 +58,13 @@ func main() {
 	cfg.StallP = *stall
 	cfg.StallSeed = *seed
 	cfg.Trace = *vcd != "" || *traceF
+
+	if *lintJSON != "" {
+		*lintF = true
+	}
+	if *lintF {
+		os.Exit(runLint(cfg, *testName, *lintJSON))
+	}
 
 	any := false
 	for _, tc := range append(soc.Tests(), soc.ExtraTests()...) {
@@ -135,4 +146,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "socsim: unknown test %q\n", *testName)
 		os.Exit(2)
 	}
+}
+
+// runLint builds each selected design and runs the static design-rule
+// checker over its elaborated channel/clock graph; nothing is simulated.
+// The deliberately broken fixtures (soc.LintFixtures) are selectable by
+// exact name but excluded from "all", so "-test all -lint" asserts that
+// every shipped design is hazard-free. The exit code is 1 when any
+// selected design has an error-severity diagnostic.
+func runLint(cfg soc.Config, testName, jsonPath string) int {
+	cases := append(soc.Tests(), soc.ExtraTests()...)
+	if testName != "all" {
+		cases = append(cases, soc.LintFixtures()...)
+	}
+	any, failed := false, false
+	var all []lint.Diag
+	for _, tc := range cases {
+		if testName != "all" && tc.Name != testName {
+			continue
+		}
+		any = true
+		s, _ := tc.Build(cfg)
+		r := lint.Check(s.Sim)
+		fmt.Printf("%s:\n", tc.Name)
+		r.WriteTree(os.Stdout)
+		if r.Errors() > 0 {
+			failed = true
+		}
+		// The combined JSON dump roots each design's diagnostics under its
+		// test name so one file can span "-test all".
+		for _, d := range r.Diags {
+			d.Path = tc.Name + "/" + d.Path
+			all = append(all, d)
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "socsim: unknown test %q\n", testName)
+		return 2
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err == nil {
+			err = lint.WriteDiagsJSON(f, all)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socsim:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

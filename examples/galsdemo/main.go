@@ -32,7 +32,7 @@ func crossing(pausible bool) {
 		push, pop = f.Push, f.Pop
 		pausesFn = func() uint64 { return f.Pauses }
 	} else {
-		f := gals.NewBruteForceSyncFIFO[int](tx, rx, 4)
+		f := gals.NewBruteForceSyncFIFO[int](s, "bf", tx, rx, 4)
 		push, pop = f.Push, f.Pop
 		pausesFn = func() uint64 { return 0 }
 	}

@@ -103,6 +103,7 @@ type options struct {
 	stallReady float64
 	stallSeed  int64
 	packer     func(any) bitvec.Vec
+	terminated bool
 }
 
 // WithMode selects the port-operation cost model.
@@ -129,6 +130,12 @@ func WithStall(pValid, pReady float64, seed int64) Option {
 		o.stallSeed = seed
 	}
 }
+
+// Terminator marks the channel as an intentional stub — an edge port
+// tied off with no component on the far side. The static lint pass
+// exempts terminated channels from the dangling-endpoint rule (CON-2)
+// and excludes them from cycle analysis.
+func Terminator() Option { return func(o *options) { o.terminated = true } }
 
 // core is the shared channel implementation behind every kind.
 type core[T any] struct {
@@ -190,16 +197,16 @@ type core[T any] struct {
 	bound bool
 }
 
-func newCore[T any](clk *sim.Clock, name string, kind Kind, capacity int, opts []Option) *core[T] {
+func newCore[T any](clk *sim.Clock, name string, kind Kind, capacity int, o *options) *core[T] {
 	if clk == nil {
 		panic("connections: nil clock for channel " + name)
 	}
 	if capacity < 1 {
-		panic(fmt.Sprintf("connections: channel %s capacity %d < 1", name, capacity))
-	}
-	var o options
-	for _, f := range opts {
-		f(&o)
+		// The declared depth stays visible in the design graph (Bind
+		// records it before this clamp, and lint CON-3 reports it as an
+		// error); the runtime keeps one slot so elaboration can finish and
+		// the design can be linted instead of dying mid-construction.
+		capacity = 1
 	}
 	c := &core[T]{
 		clk:         clk,

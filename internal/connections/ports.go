@@ -12,12 +12,14 @@ import (
 // Pop/PopNB regardless of which channel kind it is later bound to — the
 // polymorphic-port property of the Connections API (paper Table 1).
 type In[T any] struct {
-	ch *core[T]
+	ch    *core[T]
+	owner *sim.PortDecl
 }
 
 // Out is a producer-side port terminal.
 type Out[T any] struct {
-	ch *core[T]
+	ch    *core[T]
+	owner *sim.PortDecl
 }
 
 // NewIn returns an unbound consumer port.
@@ -26,8 +28,27 @@ func NewIn[T any]() *In[T] { return &In[T]{} }
 // NewOut returns an unbound producer port.
 func NewOut[T any]() *Out[T] { return &Out[T]{} }
 
+// Owned declares that the component at path owns this port (named port)
+// in clk's domain, registering the endpoint in the simulator's design
+// graph for the static lint pass (CDC and connectivity rules). Ownership
+// is optional — undeclared ports lint silently — and Owned returns the
+// receiver so constructors can chain it onto NewIn.
+func (p *In[T]) Owned(clk *sim.Clock, path, port string) *In[T] {
+	p.owner = clk.Sim().Design().DeclarePort(path, port, clk, sim.PortConsumer)
+	return p
+}
+
+// Owned declares producer-side port ownership; see In.Owned.
+func (p *Out[T]) Owned(clk *sim.Clock, path, port string) *Out[T] {
+	p.owner = clk.Sim().Design().DeclarePort(path, port, clk, sim.PortProducer)
+	return p
+}
+
 func (p *In[T]) need() *core[T] {
 	if p.ch == nil {
+		if p.owner != nil {
+			panic("connections: Pop on unbound In port " + p.owner.String())
+		}
 		panic("connections: Pop on unbound In port")
 	}
 	return p.ch
@@ -35,6 +56,9 @@ func (p *In[T]) need() *core[T] {
 
 func (p *Out[T]) need() *core[T] {
 	if p.ch == nil {
+		if p.owner != nil {
+			panic("connections: Push on unbound Out port " + p.owner.String())
+		}
 		panic("connections: Push on unbound Out port")
 	}
 	return p.ch
@@ -211,17 +235,47 @@ func (ch Channel[T]) Occupancy() int { return len(ch.c.queue) }
 // ignored (forced to 1) for the other kinds.
 func Bind[T any](clk *sim.Clock, name string, kind Kind, capacity int, out *Out[T], in *In[T], opts ...Option) Channel[T] {
 	if out.ch != nil {
+		if out.owner != nil {
+			panic(fmt.Sprintf("connections: Out port %s already bound to channel %s (rebinding as %s)", out.owner, out.ch.name, name))
+		}
 		panic(fmt.Sprintf("connections: Out port already bound (channel %s)", name))
 	}
 	if in.ch != nil {
+		if in.owner != nil {
+			panic(fmt.Sprintf("connections: In port %s already bound to channel %s (rebinding as %s)", in.owner, in.ch.name, name))
+		}
 		panic(fmt.Sprintf("connections: In port already bound (channel %s)", name))
 	}
 	if kind != KindBuffer {
 		capacity = 1
 	}
-	c := newCore[T](clk, name, kind, capacity, opts)
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	c := newCore[T](clk, name, kind, capacity, &o)
 	out.ch = c
 	in.ch = c
+	// Record the channel and link its declared endpoints into the design
+	// graph — a constructor-time append the static lint pass walks later.
+	clk.Sim().Design().AddChannel(sim.ChannelDecl{
+		Name:       name,
+		Clock:      clk,
+		Kind:       kind.String(),
+		Capacity:   capacity,
+		Latency:    c.latency,
+		Terminated: o.terminated,
+		Prod:       out.owner,
+		Cons:       in.owner,
+	})
+	if out.owner != nil {
+		out.owner.Bound = true
+		out.owner.Channel = name
+	}
+	if in.owner != nil {
+		in.owner.Bound = true
+		in.owner.Channel = name
+	}
 	return Channel[T]{c: c}
 }
 

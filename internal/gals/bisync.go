@@ -69,6 +69,7 @@ func NewPausibleBisyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim
 		emit("transfers", float64(f.Transfers))
 		emit("occupancy", float64(f.Occupancy()))
 	})
+	s.Design().AddSync(sim.SyncDecl{Name: name, Style: "pausible", Prod: prod, Cons: cons, Depth: depth})
 	return f
 }
 
@@ -205,25 +206,52 @@ type BruteForceSyncFIFO[T any] struct {
 	notEmpty func() bool
 }
 
-// NewBruteForceSyncFIFO builds the baseline FIFO and registers the
-// synchronizer flops on both clocks.
-func NewBruteForceSyncFIFO[T any](prod, cons *sim.Clock, depth int) *BruteForceSyncFIFO[T] {
+// NewBruteForceSyncFIFO builds the baseline FIFO, registers the
+// synchronizer flops on both clocks, and — like its pausible sibling —
+// registers the FIFO as a named component (stats source) and as a
+// synchronizer edge in the design graph, so lint and -stats can see it.
+func NewBruteForceSyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim.Clock, depth int) *BruteForceSyncFIFO[T] {
+	if depth < 1 {
+		panic(fmt.Sprintf("gals: FIFO depth %d", depth))
+	}
 	f := &BruteForceSyncFIFO[T]{
 		prod: prod, cons: cons,
 		buf: make([]entry[T], depth),
 	}
 	f.notFull = func() bool { return f.wptr-f.rptrSyncToProd[1] < uint64(len(f.buf)) }
 	f.notEmpty = func() bool { return f.rptr != f.wptrSyncToCons[1] }
-	cons.AtCommit(func() {
+	cons.AtCommitNamed(name, func() {
 		f.wptrSyncToCons[1] = f.wptrSyncToCons[0]
 		f.wptrSyncToCons[0] = f.wptr
 	})
-	prod.AtCommit(func() {
+	prod.AtCommitNamed(name, func() {
 		f.rptrSyncToProd[1] = f.rptrSyncToProd[0]
 		f.rptrSyncToProd[0] = f.rptr
 	})
+	s.Component(name).Source(func(emit stats.Emit) {
+		emit("transfers", float64(f.Transfers))
+		emit("occupancy", float64(f.Occupancy()))
+	})
+	s.Design().AddSync(sim.SyncDecl{Name: name, Style: "brute-force", Prod: prod, Cons: cons, Depth: depth})
 	return f
 }
+
+// NewBruteForceSyncFIFOAnon builds the baseline FIFO without an explicit
+// name, deriving the simulator from the producer clock and a stable name
+// from the clock pair and synchronizer count.
+//
+// Deprecated: use NewBruteForceSyncFIFO, which takes the simulator and a
+// component name like the pausible sibling.
+func NewBruteForceSyncFIFOAnon[T any](prod, cons *sim.Clock, depth int) *BruteForceSyncFIFO[T] {
+	s := prod.Sim()
+	name := fmt.Sprintf("bfsync[%s-%s][%d]", prod.Name(), cons.Name(), s.Design().SyncCount())
+	return NewBruteForceSyncFIFO[T](s, name, prod, cons, depth)
+}
+
+// Occupancy returns the number of buffered entries as the producer
+// domain sees them (the true pointer difference, ignoring synchronizer
+// staleness).
+func (f *BruteForceSyncFIFO[T]) Occupancy() int { return int(f.wptr - f.rptr) }
 
 // PushNB offers v from the producer domain, observing the synchronized
 // (stale) read pointer for the full check.

@@ -61,7 +61,7 @@ func TestCDCFifosNoLossAcrossRandomClocks(t *testing.T) {
 		s2 := sim.New()
 		a2 := s2.AddClock("a", pa, 0)
 		b2 := s2.AddClock("b", pb, phase)
-		bf := NewBruteForceSyncFIFO[int](a2, b2, 4)
+		bf := NewBruteForceSyncFIFO[int](s2, "bf", a2, b2, 4)
 		crossDomain(t, s2, a2, b2, bf.Push, bf.Pop, 200)
 	}
 }
@@ -79,7 +79,7 @@ func TestPausibleLowerLatencyThanBruteForce(t *testing.T) {
 			f := NewPausibleBisyncFIFO[int](s, "pf", a, b, 4, 40)
 			push, popNB = f.Push, f.PopNB
 		} else {
-			f := NewBruteForceSyncFIFO[int](a, b, 4)
+			f := NewBruteForceSyncFIFO[int](s, "bf", a, b, 4)
 			push, popNB = f.Push, f.PopNB
 		}
 		a.Spawn("p", func(th *sim.Thread) {
@@ -177,7 +177,7 @@ func TestBruteForceTwoCycleLatencyFloor(t *testing.T) {
 	s := sim.New()
 	a := s.AddClock("a", 1000, 0)
 	b := s.AddClock("b", 1000, 500)
-	f := NewBruteForceSyncFIFO[int](a, b, 4)
+	f := NewBruteForceSyncFIFO[int](s, "bf", a, b, 4)
 	var sentCycle, recvCycle uint64
 	a.Spawn("p", func(th *sim.Thread) {
 		th.WaitN(2)

@@ -67,8 +67,8 @@ type VCMapFunc func(outPort, vc int) int
 // TerminateFlit binds a single flit out/in port pair to idle stub
 // channels, used for unconnected edge ports of store-and-forward routers.
 func TerminateFlit(clk *sim.Clock, name string, out *connections.Out[Flit], in *connections.In[Flit]) {
-	connections.Buffer(clk, name+".o", 1, out, connections.NewIn[Flit]())
-	connections.Buffer(clk, name+".i", 1, connections.NewOut[Flit](), in)
+	connections.Buffer(clk, name+".o", 1, out, connections.NewIn[Flit](), connections.Terminator())
+	connections.Buffer(clk, name+".i", 1, connections.NewOut[Flit](), in, connections.Terminator())
 }
 
 // RouterStats counts router activity.

@@ -48,8 +48,8 @@ func NewSFRouter(clk *sim.Clock, name string, nPorts, pktQ int, route RouteFunc)
 		route:      route,
 	}
 	for i := 0; i < nPorts; i++ {
-		r.In[i] = connections.NewIn[Flit]()
-		r.Out[i] = connections.NewOut[Flit]()
+		r.In[i] = connections.NewIn[Flit]().Owned(clk, name, fmt.Sprintf("in[%d]", i))
+		r.Out[i] = connections.NewOut[Flit]().Owned(clk, name, fmt.Sprintf("out[%d]", i))
 		r.ready[i] = matchlib.NewFIFO[[]Flit](pktQ)
 		r.arbs[i] = matchlib.NewArbiter(nPorts)
 	}

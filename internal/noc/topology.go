@@ -29,14 +29,14 @@ func NewNI(clk *sim.Clock, name string, node, nVCs int, vcPick func(Packet) int)
 		vcPick = func(Packet) int { return 0 }
 	}
 	ni := &NI{
-		PktIn:   connections.NewIn[Packet](),
-		PktOut:  connections.NewOut[Packet](),
+		PktIn:   connections.NewIn[Packet]().Owned(clk, name, "pkt_in"),
+		PktOut:  connections.NewOut[Packet]().Owned(clk, name, "pkt_out"),
 		FlitOut: make([]*connections.Out[Flit], nVCs),
 		FlitIn:  make([]*connections.In[Flit], nVCs),
 	}
 	for v := 0; v < nVCs; v++ {
-		ni.FlitOut[v] = connections.NewOut[Flit]()
-		ni.FlitIn[v] = connections.NewIn[Flit]()
+		ni.FlitOut[v] = connections.NewOut[Flit]().Owned(clk, name, fmt.Sprintf("flit_out[%d]", v))
+		ni.FlitIn[v] = connections.NewIn[Flit]().Owned(clk, name, fmt.Sprintf("flit_in[%d]", v))
 	}
 	clk.Spawn(name+".inject", func(th *sim.Thread) {
 		for {
@@ -161,8 +161,8 @@ func linkPorts(clk *sim.Clock, name string, depth int, out []*connections.Out[Fl
 // the router can scan it safely; no traffic ever routes there.
 func terminatePort(clk *sim.Clock, name string, out []*connections.Out[Flit], in []*connections.In[Flit]) {
 	for v := range out {
-		connections.Buffer(clk, fmt.Sprintf("%s.o%d", name, v), 1, out[v], connections.NewIn[Flit]())
-		connections.Buffer(clk, fmt.Sprintf("%s.i%d", name, v), 1, connections.NewOut[Flit](), in[v])
+		connections.Buffer(clk, fmt.Sprintf("%s.o%d", name, v), 1, out[v], connections.NewIn[Flit](), connections.Terminator())
+		connections.Buffer(clk, fmt.Sprintf("%s.i%d", name, v), 1, connections.NewOut[Flit](), in[v], connections.Terminator())
 	}
 }
 
@@ -181,7 +181,12 @@ func BuildMesh(clk *sim.Clock, name string, w, h, vcs, depth int, opts ...connec
 		linkPorts(clk, fmt.Sprintf("%s.l%d.in", name, i), depth, ni.FlitOut, r.In[PortLocal], opts...)
 		linkPorts(clk, fmt.Sprintf("%s.l%d.out", name, i), depth, r.Out[PortLocal], ni.FlitIn, opts...)
 
-		inj, ej := connections.NewOut[Packet](), connections.NewIn[Packet]()
+		// The user-side endpoints belong to the mesh's per-node harness
+		// interface; declaring them keeps the inject/eject channels fully
+		// owned in the design graph.
+		ep := fmt.Sprintf("%s.ep%d", name, i)
+		inj := connections.NewOut[Packet]().Owned(clk, ep, "inject")
+		ej := connections.NewIn[Packet]().Owned(clk, ep, "eject")
 		connections.Buffer(clk, fmt.Sprintf("%s.inj%d", name, i), 2, inj, ni.PktIn, opts...)
 		connections.Buffer(clk, fmt.Sprintf("%s.ej%d", name, i), 2, ni.PktOut, ej, opts...)
 		m.Inject = append(m.Inject, inj)
@@ -255,7 +260,9 @@ func BuildRing(clk *sim.Clock, name string, n, depth int, opts ...connections.Op
 		rg.NIs = append(rg.NIs, ni)
 		linkPorts(clk, fmt.Sprintf("%s.l%d.in", name, i), depth, ni.FlitOut, r.In[RingLocal], opts...)
 		linkPorts(clk, fmt.Sprintf("%s.l%d.out", name, i), depth, r.Out[RingLocal], ni.FlitIn, opts...)
-		inj, ej := connections.NewOut[Packet](), connections.NewIn[Packet]()
+		ep := fmt.Sprintf("%s.ep%d", name, i)
+		inj := connections.NewOut[Packet]().Owned(clk, ep, "inject")
+		ej := connections.NewIn[Packet]().Owned(clk, ep, "eject")
 		connections.Buffer(clk, fmt.Sprintf("%s.inj%d", name, i), 2, inj, ni.PktIn, opts...)
 		connections.Buffer(clk, fmt.Sprintf("%s.ej%d", name, i), 2, ni.PktOut, ej, opts...)
 		rg.Inject = append(rg.Inject, inj)

@@ -65,8 +65,8 @@ func NewWHVCRouter(clk *sim.Clock, name string, nPorts, nVCs int, route RouteFun
 		r.In[i] = make([]*connections.In[Flit], nVCs)
 		r.Out[i] = make([]*connections.Out[Flit], nVCs)
 		for v := 0; v < nVCs; v++ {
-			r.In[i][v] = connections.NewIn[Flit]()
-			r.Out[i][v] = connections.NewOut[Flit]()
+			r.In[i][v] = connections.NewIn[Flit]().Owned(clk, name, fmt.Sprintf("in[%d][%d]", i, v))
+			r.Out[i][v] = connections.NewOut[Flit]().Owned(clk, name, fmt.Sprintf("out[%d][%d]", i, v))
 		}
 		r.lock[i] = make([]outLock, nVCs)
 		r.arbs[i] = matchlib.NewArbiter(nPorts * nVCs)

@@ -35,6 +35,7 @@ type Simulator struct {
 	metrics *stats.Registry
 	root    *Component
 	comps   map[string]*Component
+	design  *Design
 
 	tracer *trace.Recorder
 }

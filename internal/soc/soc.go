@@ -141,6 +141,13 @@ func New(cfg Config, firmware []uint32) *SoC {
 	}
 	s.RVClk = clockOf[NodeRV]
 
+	// Partition boundaries for the design-rule checker: each node is one
+	// clock partition, so lint can report which partitions a CDC hazard
+	// straddles.
+	for i := 0; i < NumNodes; i++ {
+		s.Sim.Design().MarkPartition("soc/"+nodeName(i), clockOf[i])
+	}
+
 	var opts []connections.Option
 	opts = append(opts, connections.WithMode(cfg.Mode))
 	if cfg.StallP > 0 {
@@ -203,7 +210,8 @@ func New(cfg Config, firmware []uint32) *SoC {
 	endpoints := func(i int) (*connections.Out[noc.Packet], *connections.In[noc.Packet]) {
 		clk := clockOf[i]
 		base := "soc/" + nodeName(i)
-		inj, ej := connections.NewOut[noc.Packet](), connections.NewIn[noc.Packet]()
+		inj := connections.NewOut[noc.Packet]().Owned(clk, base, "inject")
+		ej := connections.NewIn[noc.Packet]().Owned(clk, base, "eject")
 		c1 := connections.Buffer(clk, base+"/inject", 2, inj, nis[i].PktIn, opts...)
 		c2 := connections.Buffer(clk, base+"/eject", 2, nis[i].PktOut, ej, opts...)
 		s.pktChans = append(s.pktChans,
@@ -303,8 +311,8 @@ func linkSame(clk *sim.Clock, name string, depth int, out []*connections.Out[noc
 // terminate stubs an unused edge port.
 func terminate(clk *sim.Clock, name string, out []*connections.Out[noc.Flit], in []*connections.In[noc.Flit]) {
 	for v := range out {
-		connections.Buffer(clk, fmt.Sprintf("%s/o[%d]", name, v), 1, out[v], connections.NewIn[noc.Flit]())
-		connections.Buffer(clk, fmt.Sprintf("%s/i[%d]", name, v), 1, connections.NewOut[noc.Flit](), in[v])
+		connections.Buffer(clk, fmt.Sprintf("%s/o[%d]", name, v), 1, out[v], connections.NewIn[noc.Flit](), connections.Terminator())
+		connections.Buffer(clk, fmt.Sprintf("%s/i[%d]", name, v), 1, connections.NewOut[noc.Flit](), in[v], connections.Terminator())
 	}
 }
 
@@ -313,7 +321,7 @@ func terminate(clk *sim.Clock, name string, out []*connections.Out[noc.Flit], in
 // the paper's asynchronous router-to-router interface.
 func cdcLink(s *sim.Simulator, name string, clkA, clkB *sim.Clock,
 	out *connections.Out[noc.Flit], in *connections.In[noc.Flit], depth int, opts []connections.Option) *gals.PausibleBisyncFIFO[noc.Flit] {
-	aIn := connections.NewIn[noc.Flit]()
+	aIn := connections.NewIn[noc.Flit]().Owned(clkA, name, "tx")
 	connections.Buffer(clkA, name+"/a", 2, out, aIn, opts...)
 	fifo := gals.NewPausibleBisyncFIFO[noc.Flit](s, name, clkA, clkB, depth, 40)
 	clkA.Spawn(name+"/tx", func(th *sim.Thread) {
@@ -323,7 +331,7 @@ func cdcLink(s *sim.Simulator, name string, clkA, clkB *sim.Clock,
 			th.Wait()
 		}
 	})
-	bOut := connections.NewOut[noc.Flit]()
+	bOut := connections.NewOut[noc.Flit]().Owned(clkB, name, "rx")
 	connections.Buffer(clkB, name+"/b", 2, bOut, in, opts...)
 	clkB.Spawn(name+"/rx", func(th *sim.Thread) {
 		for {

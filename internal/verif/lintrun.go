@@ -1,0 +1,20 @@
+package verif
+
+import (
+	"repro/internal/lint"
+	"repro/internal/sim"
+)
+
+// LintThenRun is the lint-gated execution hook: it runs the static
+// design-rule checker over the fully elaborated simulator and only calls
+// run when no error-severity diagnostic was found. A design that fails
+// lint never simulates a cycle — the hang or corruption the rules
+// predict is reported as a structured error instead of chased through a
+// wedged run. Warnings do not gate; they are the statically undecidable
+// hazards (zero-slack rings with VC structure) that a traced run settles.
+func LintThenRun(s *sim.Simulator, run func() error) error {
+	if err := lint.Check(s).Err(); err != nil {
+		return err
+	}
+	return run()
+}

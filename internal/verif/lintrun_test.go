@@ -1,0 +1,40 @@
+package verif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/connections"
+	"repro/internal/sim"
+)
+
+func TestLintThenRunGatesOnErrors(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 10, 0)
+	connections.NewIn[int]().Owned(clk, "tb/widow", "in") // never bound: CON-1
+
+	ran := false
+	err := LintThenRun(s, func() error { ran = true; return nil })
+	if err == nil || !strings.Contains(err.Error(), "CON-1") {
+		t.Fatalf("err = %v, want CON-1", err)
+	}
+	if ran {
+		t.Fatal("run executed despite lint error")
+	}
+}
+
+func TestLintThenRunPassesCleanDesign(t *testing.T) {
+	s := sim.New()
+	clk := s.AddClock("clk", 10, 0)
+	out := connections.NewOut[int]().Owned(clk, "tb/p", "o")
+	in := connections.NewIn[int]().Owned(clk, "tb/c", "i")
+	connections.Buffer(clk, "tb/ch", 2, out, in)
+
+	ran := false
+	if err := LintThenRun(s, func() error { ran = true; return nil }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !ran {
+		t.Fatal("run not executed on clean design")
+	}
+}

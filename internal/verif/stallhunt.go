@@ -252,7 +252,15 @@ func runStallHunt(pStall float64, seed int64, messages int, rec *trace.Recorder)
 		}
 	})
 
-	s.Run(sim.Time(uint64(messages)*1_000_000 + 100_000_000))
+	// The testbench is lint-gated like any other design: an elaboration
+	// hazard (a future refactor leaving a port unbound, say) surfaces as
+	// one structured error instead of a 3000-cycle idle timeout.
+	if err := LintThenRun(s, func() error {
+		s.Run(sim.Time(uint64(messages)*1_000_000 + 100_000_000))
+		return nil
+	}); err != nil {
+		return StallHuntResult{Errors: []string{err.Error()}}
+	}
 	return StallHuntResult{
 		Errors:        sb.Drain(),
 		TimingStates:  cov.Distinct(),
