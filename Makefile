@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench vet lint
+.PHONY: build test check bench vet lint serve-smoke
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,16 @@ test: build
 # tracing armed, and enforce the disarmed tracing overhead budget
 # (<= 2% over the untraced primitives).
 check: vet
-	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp ./internal/trace
+	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
+	$(MAKE) serve-smoke
+
+# End-to-end smoke of the socd daemon: boot on an ephemeral port, submit
+# lint + sim jobs over HTTP, assert the cache-hit byte identity, and
+# drain on SIGTERM.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

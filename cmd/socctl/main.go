@@ -1,0 +1,247 @@
+// Command socctl is the client for the socd job daemon: submit jobs,
+// watch their streamed progress, and fetch results over plain HTTP.
+//
+//	socctl -addr localhost:9090 submit -kind sim -test memcpy -wait
+//	socctl submit -kind stallhunt -stall 0.3 -messages 200 -seeds 8 -watch
+//	socctl submit -spec '{"kind":"lint","test":"badcdc"}'
+//	socctl watch job-3
+//	socctl result job-3
+//	socctl jobs
+//	socctl metrics
+//	socctl health
+//
+// A submission is content-addressed: resubmitting an identical spec is
+// served byte-identically from the daemon's result cache (the response
+// carries "cached": true / an X-Cache: hit header).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: socctl [-addr host:port] <command> [args]
+
+commands:
+  submit   submit a job spec (flags or -spec JSON); -wait blocks for the
+           result, -watch streams NDJSON progress then prints the result
+  watch    stream a job's NDJSON progress events
+  result   fetch a finished job's result body
+  jobs     list jobs in submission order
+  metrics  dump the daemon's stats snapshot (serve/* namespace)
+  health   query /healthz
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "socd address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(base, args)
+	case "watch":
+		err = cmdWatch(base, args)
+	case "result":
+		err = cmdGet(base, args, "/jobs/%s/result")
+	case "jobs":
+		err = cmdPlain(base + "/jobs")
+	case "metrics":
+		err = cmdPlain(base + "/metrics")
+	case "health":
+		err = cmdPlain(base + "/healthz")
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "socctl:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdSubmit(base string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	specJSON := fs.String("spec", "", "raw spec JSON (overrides the field flags)")
+	kind := fs.String("kind", "sim", "job kind: sim|lint|stallhunt|qor|fig6")
+	test := fs.String("test", "", "SoC test / lint design name")
+	mode := fs.String("mode", "", "channel model: tlm|signal|rtl")
+	gals := fs.Bool("gals", false, "per-partition clock generators")
+	maxCycles := fs.Uint64("maxcycles", 0, "cycle budget (0 = kind default)")
+	stall := fs.Float64("stall", 0, "stall-injection probability")
+	seed := fs.Int64("seed", 0, "stall / campaign seed")
+	messages := fs.Int("messages", 0, "stallhunt messages per producer")
+	seeds := fs.Int("seeds", 0, "stallhunt campaign width")
+	parallel := fs.Int("parallel", 0, "campaign shard width (not part of the content hash)")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its result")
+	watch := fs.Bool("watch", false, "stream progress events, then print the result")
+	fs.Parse(args)
+
+	var spec []byte
+	if *specJSON != "" {
+		spec = []byte(*specJSON)
+	} else {
+		s := serve.Spec{
+			Kind: *kind, Test: *test, Mode: *mode, GALS: *gals,
+			MaxCycles: *maxCycles, Stall: *stall, Seed: *seed,
+			Messages: *messages, Seeds: *seeds, Parallel: *parallel,
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, `{"kind":%q`, s.Kind)
+		if s.Test != "" {
+			fmt.Fprintf(&buf, `,"test":%q`, s.Test)
+		}
+		if s.Mode != "" {
+			fmt.Fprintf(&buf, `,"mode":%q`, s.Mode)
+		}
+		if s.GALS {
+			buf.WriteString(`,"gals":true`)
+		}
+		if s.MaxCycles != 0 {
+			fmt.Fprintf(&buf, `,"max_cycles":%d`, s.MaxCycles)
+		}
+		if s.Stall != 0 {
+			fmt.Fprintf(&buf, `,"stall":%g`, s.Stall)
+		}
+		if s.Seed != 0 {
+			fmt.Fprintf(&buf, `,"seed":%d`, s.Seed)
+		}
+		if s.Messages != 0 {
+			fmt.Fprintf(&buf, `,"messages":%d`, s.Messages)
+		}
+		if s.Seeds != 0 {
+			fmt.Fprintf(&buf, `,"seeds":%d`, s.Seeds)
+		}
+		if s.Parallel != 0 {
+			fmt.Fprintf(&buf, `,"parallel":%d`, s.Parallel)
+		}
+		buf.WriteString("}")
+		spec = buf.Bytes()
+	}
+
+	url := base + "/jobs"
+	if *wait && !*watch {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return fmt.Errorf("%s (Retry-After: %ss): %s", resp.Status, ra, strings.TrimSpace(string(body)))
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	os.Stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
+	if !*watch {
+		return nil
+	}
+	id, err := fieldFromJSON(body, "id")
+	if err != nil {
+		return err
+	}
+	if err := streamEvents(base, id); err != nil {
+		return err
+	}
+	return fetch(base+"/jobs/"+id+"/result", os.Stdout)
+}
+
+// fieldFromJSON pulls one top-level string field out of a small JSON
+// object without reflecting the whole response shape into the client.
+func fieldFromJSON(data []byte, field string) (string, error) {
+	needle := []byte(`"` + field + `": "`)
+	i := bytes.Index(data, needle)
+	if i < 0 {
+		needle = []byte(`"` + field + `":"`)
+		i = bytes.Index(data, needle)
+	}
+	if i < 0 {
+		return "", fmt.Errorf("no %q in response %s", field, data)
+	}
+	rest := data[i+len(needle):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return "", fmt.Errorf("unterminated %q in response", field)
+	}
+	return string(rest[:j]), nil
+}
+
+func cmdWatch(base string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: socctl watch <job-id>")
+	}
+	return streamEvents(base, args[0])
+}
+
+func streamEvents(base, id string) error {
+	resp, err := http.Get(base + "/jobs/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	start := time.Now()
+	for sc.Scan() {
+		fmt.Printf("[%7.3fs] %s\n", time.Since(start).Seconds(), sc.Text())
+	}
+	return sc.Err()
+}
+
+func cmdGet(base string, args []string, pattern string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: socctl result <job-id>")
+	}
+	return fetch(base+fmt.Sprintf(pattern, args[0]), os.Stdout)
+}
+
+func cmdPlain(url string) error { return fetch(url, os.Stdout) }
+
+func fetch(url string, w io.Writer) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	w.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Fprintln(w)
+	}
+	return nil
+}

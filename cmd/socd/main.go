@@ -1,0 +1,90 @@
+// Command socd is the flow's simulation-as-a-service daemon: it hosts
+// the internal/serve job service — SoC simulation, stall-hunt
+// campaigns, static lint, HLS flow QoR, and the Figure 6 comparison —
+// behind an HTTP/JSON API with bounded queueing, a content-addressed
+// result cache, streaming NDJSON progress, and graceful drain on
+// SIGTERM/SIGINT.
+//
+//	socd                         # listen on :9090, 2 workers
+//	socd -addr :0 -workers 4     # ephemeral port (printed on stdout)
+//	socd -queue 64 -cache 256 -job-timeout 5m
+//
+// Submit and watch jobs with cmd/socctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 2, "job worker pool width")
+	queue := flag.Int("queue", 16, "bounded admission queue depth (full queue sheds with 429)")
+	cacheSize := flag.Int("cache", 128, "content-addressed result cache entries (LRU)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall bound (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget before in-flight jobs are canceled")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "socd: ", log.LstdFlags)
+	jt := *jobTimeout
+	if jt == 0 {
+		jt = -1 // Config's "no limit" spelling
+	}
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		JobTimeout: jt,
+		Logf:       logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	// The bound address goes to stdout as the first line so wrappers
+	// (serve-smoke, scripts) can discover an ephemeral port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v: draining (budget %v)", sig, *drainTimeout)
+	case err := <-errCh:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	// Drain order: stop admitting first (new submissions get 503), let
+	// queued and in-flight jobs finish inside the budget — canceling the
+	// stragglers through the campaign context — then close the HTTP
+	// listener. Progress streams end naturally when their jobs do, so
+	// the HTTP shutdown completes promptly.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain: canceled stragglers: %v", err)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer httpCancel()
+	if err := httpSrv.Shutdown(httpCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("drained, exiting")
+}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -30,7 +31,19 @@ type Ctx struct {
 	// worker count or scheduling order.
 	Seed int64
 
+	ctx       context.Context
 	statsJSON []byte
+}
+
+// Context returns the campaign context installed with WithContext, or
+// context.Background when the campaign runs without one. Long jobs poll
+// it to stop early on cancellation; jobs that never look still get fenced
+// by the runner (the abandoned-body semantics of Timeout).
+func (c *Ctx) Context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 // Publish snapshots reg in the stats JSON dump format and attaches it to
@@ -51,9 +64,10 @@ type Result struct {
 	Index    int // submission index
 	Seed     int64
 	Value    any   // Run's return value; nil on failure
-	Err      error // job error, panic, or timeout
+	Err      error // job error, panic, timeout, or cancellation
 	Panicked bool
 	TimedOut bool
+	Canceled bool // campaign context canceled before or during the job
 	Wall     time.Duration
 	Stats    []byte // stats JSON dump published via Ctx.Publish, if any
 }
@@ -69,6 +83,7 @@ type Summary struct {
 	Parallel int
 	Seed     int64
 	Failed   int
+	Canceled int // jobs ended by campaign-context cancellation (subset of Failed)
 }
 
 // config collects the campaign options.
@@ -77,6 +92,7 @@ type config struct {
 	parallel int
 	seed     int64
 	timeout  time.Duration
+	ctx      context.Context
 	progress func(done, total int, r Result)
 }
 
@@ -99,6 +115,15 @@ func Seed(s int64) Option { return func(c *config) { c.seed = s } }
 // CPU it is burning, but the campaign completes without it). Zero means
 // no limit.
 func Timeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithContext attaches a context to the campaign. When it is canceled,
+// jobs that have not started yet complete immediately as Canceled
+// failures without running, and jobs already in flight are abandoned
+// (same fencing as Timeout) and reported Canceled. A campaign run with
+// an uncanceled context is bit-identical to one run without a context —
+// cancellation only ever shortens a run, never reorders or reseeds it.
+// The service layer's graceful drain is the intended caller.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // OnProgress registers a callback invoked after each job completes, with
 // the number of finished jobs, the campaign size, and the job's result.
@@ -166,6 +191,9 @@ func Run(jobs []Job, opts ...Option) *Summary {
 				if r.Failed() {
 					s.Failed++
 				}
+				if r.Canceled {
+					s.Canceled++
+				}
 				if cfg.progress != nil {
 					cfg.progress(done, len(jobs), r)
 				}
@@ -191,10 +219,18 @@ type outcome struct {
 	stats    []byte
 }
 
-// runOne executes one job with panic capture and the optional timeout.
+// runOne executes one job with panic capture, the optional timeout, and
+// the optional campaign context.
 func runOne(j Job, i int, cfg config) Result {
 	r := Result{Name: j.Name, Index: i, Seed: DeriveSeed(cfg.seed, j.Name)}
-	ctx := &Ctx{Name: j.Name, Seed: r.Seed}
+	if cfg.ctx != nil && cfg.ctx.Err() != nil {
+		// The campaign was canceled before this job started: report it
+		// without spending a goroutine on a body nobody will collect.
+		r.Canceled = true
+		r.Err = fmt.Errorf("job %q canceled before start: %w", j.Name, cfg.ctx.Err())
+		return r
+	}
+	ctx := &Ctx{Name: j.Name, Seed: r.Seed, ctx: cfg.ctx}
 	ch := make(chan outcome, 1) // buffered: an abandoned body must not block forever
 	start := time.Now()
 	go func() {
@@ -211,19 +247,26 @@ func runOne(j Job, i int, cfg config) Result {
 		o.value, o.err = j.Run(ctx)
 	}()
 
+	// nil channels block forever, so absent options simply never fire.
+	var timeout <-chan time.Time
 	if cfg.timeout > 0 {
 		t := time.NewTimer(cfg.timeout)
 		defer t.Stop()
-		select {
-		case o := <-ch:
-			r.Value, r.Err, r.Panicked, r.Stats = o.value, o.err, o.panicked, o.stats
-		case <-t.C:
-			r.TimedOut = true
-			r.Err = fmt.Errorf("job %q timed out after %v", j.Name, cfg.timeout)
-		}
-	} else {
-		o := <-ch
+		timeout = t.C
+	}
+	var canceled <-chan struct{}
+	if cfg.ctx != nil {
+		canceled = cfg.ctx.Done()
+	}
+	select {
+	case o := <-ch:
 		r.Value, r.Err, r.Panicked, r.Stats = o.value, o.err, o.panicked, o.stats
+	case <-timeout:
+		r.TimedOut = true
+		r.Err = fmt.Errorf("job %q timed out after %v", j.Name, cfg.timeout)
+	case <-canceled:
+		r.Canceled = true
+		r.Err = fmt.Errorf("job %q canceled: %w", j.Name, cfg.ctx.Err())
 	}
 	r.Wall = time.Since(start)
 	return r
@@ -283,14 +326,15 @@ func (s *Summary) Metrics() []stats.Metric {
 		root = "campaign"
 	}
 	ms := []stats.Metric{
-		{Path: root, Name: "jobs", Value: float64(len(s.Results))},
+		{Path: root, Name: "canceled", Value: float64(s.Canceled)},
 		{Path: root, Name: "failed", Value: float64(s.Failed)},
+		{Path: root, Name: "jobs", Value: float64(len(s.Results))},
 		{Path: root, Name: "parallel", Value: float64(s.Parallel)},
 		{Path: root, Name: "wall_seconds", Value: s.Wall.Seconds()},
 	}
 	for _, r := range s.Results {
 		p := root + "/" + r.Name
-		ok, panicked, timedOut := 1.0, 0.0, 0.0
+		ok, panicked, timedOut, canceled := 1.0, 0.0, 0.0, 0.0
 		if r.Failed() {
 			ok = 0
 		}
@@ -300,7 +344,11 @@ func (s *Summary) Metrics() []stats.Metric {
 		if r.TimedOut {
 			timedOut = 1
 		}
+		if r.Canceled {
+			canceled = 1
+		}
 		ms = append(ms,
+			stats.Metric{Path: p, Name: "canceled", Value: canceled},
 			stats.Metric{Path: p, Name: "ok", Value: ok},
 			stats.Metric{Path: p, Name: "panicked", Value: panicked},
 			stats.Metric{Path: p, Name: "timed_out", Value: timedOut},
@@ -328,4 +376,23 @@ func (s *Summary) Metrics() []stats.Metric {
 // machine-readable format socsim -statsjson and benchfig -json emit.
 func (s *Summary) WriteJSON(w io.Writer) error {
 	return stats.WriteMetricsJSON(w, s.Metrics())
+}
+
+// DeterministicMetrics returns Metrics with every host-dependent sample
+// removed: wall-clock values (metric name "wall_seconds", at any depth)
+// and the campaign's "parallel" shard width, which is configuration,
+// not result — the seed-derivation invariant guarantees the remaining
+// metrics are identical at every width. What remains depends only on
+// the campaign seed and job set, so two runs of the same campaign
+// render byte-identical dumps — the form the service layer embeds in
+// content-addressed result bodies.
+func (s *Summary) DeterministicMetrics() []stats.Metric {
+	var out []stats.Metric
+	for _, m := range s.Metrics() {
+		if m.Name == "wall_seconds" || m.Name == "parallel" {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -244,5 +245,159 @@ func TestValueAndResultLookup(t *testing.T) {
 	}
 	if _, ok := s.Result("job[2]"); !ok {
 		t.Fatal("Result lookup failed")
+	}
+}
+
+// TestContextCancelBeforeStart: a campaign handed an already-canceled
+// context reports every job Canceled without running any body.
+func TestContextCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	jobs := []Job{{Name: "j", Run: func(c *Ctx) (any, error) { ran = true; return 1, nil }}}
+	s := Run(jobs, WithContext(ctx))
+	if ran {
+		t.Fatal("canceled campaign still ran a job body")
+	}
+	r := s.Results[0]
+	if !r.Canceled || !r.Failed() || s.Canceled != 1 || s.Failed != 1 {
+		t.Fatalf("canceled job not reported: %+v, summary %+v", r, s)
+	}
+}
+
+// TestContextCancelFencesRunningJob: cancellation mid-flight abandons the
+// stuck body (like a timeout) and reports the job Canceled.
+func TestContextCancelFencesRunningJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{{Name: "stuck", Run: func(c *Ctx) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	s := Run(jobs, WithContext(ctx))
+	r := s.Results[0]
+	if !r.Canceled || r.TimedOut {
+		t.Fatalf("want canceled (not timed out), got %+v", r)
+	}
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("cancel cause not wrapped: %v", r.Err)
+	}
+}
+
+// TestContextObservableFromJob: Ctx.Context exposes the campaign context
+// (and defaults to Background without one).
+func TestContextObservableFromJob(t *testing.T) {
+	ctx := context.WithValue(context.Background(), ctxKey{}, "v")
+	var got, def any
+	Run([]Job{{Name: "j", Run: func(c *Ctx) (any, error) {
+		got = c.Context().Value(ctxKey{})
+		return nil, nil
+	}}}, WithContext(ctx))
+	Run([]Job{{Name: "j", Run: func(c *Ctx) (any, error) {
+		def = c.Context()
+		return nil, nil
+	}}})
+	if got != "v" {
+		t.Fatalf("campaign context not exposed: %v", got)
+	}
+	if def != context.Background() {
+		t.Fatalf("default context not Background: %v", def)
+	}
+}
+
+type ctxKey struct{}
+
+// TestUncanceledContextPreservesDeterminism: attaching a live context
+// must not perturb results relative to a context-free run.
+func TestUncanceledContextPreservesDeterminism(t *testing.T) {
+	jobs := simJobs(16)
+	base := Run(jobs, Seed(9), Parallel(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx := Run(jobs, Seed(9), Parallel(4), WithContext(ctx))
+	for i := range base.Results {
+		if base.Results[i].Value != withCtx.Results[i].Value {
+			t.Fatalf("result %d drifted under WithContext: %v vs %v",
+				i, base.Results[i].Value, withCtx.Results[i].Value)
+		}
+	}
+}
+
+// TestSummaryWriteJSONGoldenBytes pins the summary dump encoding: key
+// ordering and float formatting must be byte-stable because the job
+// service embeds these dumps in content-addressed cached results.
+func TestSummaryWriteJSONGoldenBytes(t *testing.T) {
+	s := &Summary{
+		Name:     "g",
+		Parallel: 2,
+		Seed:     5,
+		Failed:   1,
+		Results: []Result{
+			{Name: "a", Index: 0, Value: 1},
+			{Name: "b", Index: 1, Err: errors.New("nope")},
+		},
+	}
+	const golden = "{\n \"metrics\": [\n" +
+		"  {\"path\":\"g\",\"name\":\"canceled\",\"value\":0},\n" +
+		"  {\"path\":\"g\",\"name\":\"failed\",\"value\":1},\n" +
+		"  {\"path\":\"g\",\"name\":\"jobs\",\"value\":2},\n" +
+		"  {\"path\":\"g\",\"name\":\"parallel\",\"value\":2},\n" +
+		"  {\"path\":\"g\",\"name\":\"wall_seconds\",\"value\":0},\n" +
+		"  {\"path\":\"g/a\",\"name\":\"canceled\",\"value\":0},\n" +
+		"  {\"path\":\"g/a\",\"name\":\"ok\",\"value\":1},\n" +
+		"  {\"path\":\"g/a\",\"name\":\"panicked\",\"value\":0},\n" +
+		"  {\"path\":\"g/a\",\"name\":\"timed_out\",\"value\":0},\n" +
+		"  {\"path\":\"g/a\",\"name\":\"wall_seconds\",\"value\":0},\n" +
+		"  {\"path\":\"g/b\",\"name\":\"canceled\",\"value\":0},\n" +
+		"  {\"path\":\"g/b\",\"name\":\"ok\",\"value\":0},\n" +
+		"  {\"path\":\"g/b\",\"name\":\"panicked\",\"value\":0},\n" +
+		"  {\"path\":\"g/b\",\"name\":\"timed_out\",\"value\":0},\n" +
+		"  {\"path\":\"g/b\",\"name\":\"wall_seconds\",\"value\":0}\n" +
+		" ]\n}\n"
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Fatalf("summary dump drifted:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+}
+
+// TestDeterministicMetricsDropWall: the deterministic view carries no
+// wall-clock samples at any depth and no shard-width configuration, so
+// the rendered dump is identical at every Parallel value.
+func TestDeterministicMetricsDropWall(t *testing.T) {
+	jobs := []Job{{Name: "j", Run: func(c *Ctx) (any, error) {
+		reg := stats.New()
+		reg.Gauge("x", "wall_seconds").Set(3.3) // published leaf must drop too
+		reg.Counter("x", "flits").Add(2)
+		return 1, c.Publish(reg)
+	}}}
+	for _, m := range Run(jobs, Named("d")).DeterministicMetrics() {
+		if m.Name == "wall_seconds" || m.Name == "parallel" {
+			t.Fatalf("%s leaked at %q", m.Name, m.Path)
+		}
+	}
+	var dumps [2]bytes.Buffer
+	for i, par := range []int{1, 4} {
+		s := Run(jobs, Named("d"), Parallel(par))
+		if err := stats.WriteMetricsJSON(&dumps[i], s.DeterministicMetrics()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(dumps[0].Bytes(), dumps[1].Bytes()) {
+		t.Fatalf("deterministic dump varies with Parallel:\n%s\nvs\n%s",
+			dumps[0].Bytes(), dumps[1].Bytes())
+	}
+	s := Run(jobs, Named("d"))
+	if stats.Total(s.DeterministicMetrics(), "d/j/x", "flits") != 2 {
+		t.Fatal("non-wall metrics lost")
 	}
 }

@@ -1,0 +1,115 @@
+package serve
+
+import "sync"
+
+// Cache is the bounded LRU result cache, keyed by a spec's content hash.
+// Jobs are deterministic, so the cached body is the job's one true
+// result; serving it is byte-identical to recomputing. Entries are
+// immutable after insertion — Get hands out the stored slice and callers
+// must not mutate it.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[uint64]*cacheEntry
+	// Intrusive LRU list, most recent at head. A hand-rolled list keeps
+	// the entry map the only allocation per insert.
+	head, tail *cacheEntry
+
+	hits, misses, evictions uint64
+	bytes                   uint64
+}
+
+type cacheEntry struct {
+	key        uint64
+	body       []byte
+	prev, next *cacheEntry
+}
+
+// NewCache returns a cache bounded to capacity entries; capacity < 1 is
+// clamped to 1 (a cache the daemon can't disable keeps the cache-hit
+// invariant testable even in tiny configurations).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, m: make(map[uint64]*cacheEntry, capacity)}
+}
+
+// Get returns the cached body for key, bumping it to most-recently-used.
+func (c *Cache) Get(key uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.body, true
+}
+
+// Put stores body under key, evicting the least-recently-used entry when
+// full. Re-putting an existing key refreshes recency but keeps the first
+// body: results are content-addressed, so a second computation of the
+// same key is byte-identical by construction and there is nothing to
+// replace.
+func (c *Cache) Put(key uint64, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		c.moveToFront(e)
+		return
+	}
+	if len(c.m) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+		c.bytes -= uint64(len(lru.body))
+		c.evictions++
+	}
+	e := &cacheEntry{key: key, body: body}
+	c.m[key] = e
+	c.pushFront(e)
+	c.bytes += uint64(len(body))
+}
+
+// Stats returns the counters the server publishes under serve/cache.
+func (c *Cache) Stats() (size, capacity int, hits, misses, evictions, bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m), c.cap, c.hits, c.misses, c.evictions, c.bytes
+}
+
+func (c *Cache) pushFront(e *cacheEntry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

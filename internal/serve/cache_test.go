@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, []byte("one"))
+	c.Put(2, []byte("two"))
+	if b, ok := c.Get(1); !ok || string(b) != "one" {
+		t.Fatalf("Get(1) = %q, %v", b, ok)
+	}
+	// 2 is now LRU; inserting 3 must evict it, not 1.
+	c.Put(3, []byte("three"))
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	size, capacity, hits, misses, evictions, bytes := c.Stats()
+	if size != 2 || capacity != 2 || evictions != 1 {
+		t.Fatalf("size=%d cap=%d evictions=%d", size, capacity, evictions)
+	}
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	if bytes != uint64(len("one")+len("three")) {
+		t.Fatalf("bytes=%d", bytes)
+	}
+}
+
+// TestCachePutKeepsFirstBody: re-putting a key is a no-op on content —
+// content-addressed entries are immutable.
+func TestCachePutKeepsFirstBody(t *testing.T) {
+	c := NewCache(4)
+	c.Put(7, []byte("first"))
+	c.Put(7, []byte("second"))
+	if b, _ := c.Get(7); string(b) != "first" {
+		t.Fatalf("re-put replaced body: %q", b)
+	}
+	if size, _, _, _, _, _ := c.Stats(); size != 1 {
+		t.Fatalf("size=%d after duplicate put", size)
+	}
+}
+
+// TestCacheConcurrentAccess shakes the lock under the race detector.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := uint64(i % 16)
+				c.Put(k, []byte(fmt.Sprintf("v%d", k)))
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if size, capacity, _, _, _, _ := c.Stats(); size > capacity {
+		t.Fatalf("size %d exceeds capacity %d", size, capacity)
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import "sync"
+
+// Event is one entry in a job's ordered progress log, rendered to
+// watchers as one NDJSON line. Seq is the job-local sequence number;
+// watchers always observe contiguous, increasing Seq whether they replay
+// history or tail live.
+type Event struct {
+	Seq    int    `json:"seq"`
+	Event  string `json:"event"` // queued | start | progress | done | failed | canceled
+	Done   int    `json:"done,omitempty"`
+	Total  int    `json:"total,omitempty"`
+	Label  string `json:"label,omitempty"`
+	Error  string `json:"error,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// Terminal reports whether the event ends the job's log.
+func (e Event) Terminal() bool {
+	return e.Event == "done" || e.Event == "failed" || e.Event == "canceled"
+}
+
+// eventHub is a job's progress log plus its live subscribers. The full
+// history is kept (job logs are small — one line per campaign job, plus
+// bookends), so a watcher attaching at any point gets every event
+// exactly once, in order.
+type eventHub struct {
+	mu     sync.Mutex
+	past   []Event
+	subs   map[int]chan Event
+	nextID int
+	closed bool
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[int]chan Event)}
+}
+
+// publish appends the event (assigning its Seq) and fans it out. A
+// subscriber that cannot keep up — its buffer full — is dropped rather
+// than allowed to block job execution; its channel closes and the
+// HTTP handler reports the truncation.
+func (h *eventHub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	e.Seq = len(h.past)
+	h.past = append(h.past, e)
+	for id, ch := range h.subs {
+		select {
+		case ch <- e:
+		default:
+			close(ch)
+			delete(h.subs, id)
+		}
+	}
+	if e.Terminal() {
+		h.closed = true
+		for id, ch := range h.subs {
+			close(ch)
+			delete(h.subs, id)
+		}
+	}
+}
+
+// subscribe returns the replay of everything published so far and, when
+// the log is still open, a channel tailing future events (closed on the
+// terminal event). cancel detaches the subscriber; it is safe to call
+// after the channel closed.
+func (h *eventHub) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = append([]Event(nil), h.past...)
+	if h.closed {
+		return replay, nil, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	ch := make(chan Event, 256)
+	h.subs[id] = ch
+	return replay, ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/stats"
+)
+
+// Config sizes the daemon. Zero values take the defaults noted on each
+// field.
+type Config struct {
+	Workers    int                              // worker pool width (default 2)
+	QueueDepth int                              // bounded admission queue (default 16)
+	CacheSize  int                              // LRU result-cache entries (default 128)
+	JobTimeout time.Duration                    // per-job wall bound (default 10m; <0 = none)
+	Logf       func(format string, args ...any) // optional logger
+}
+
+// Server is the job service: admission queue, worker pool, result
+// cache, progress hubs, and the HTTP surface over them. Create with New,
+// mount Handler on an http.Server, and retire with Shutdown.
+type Server struct {
+	cfg   Config
+	reg   *stats.Registry
+	cache *Cache
+	mux   *http.ServeMux
+
+	// jobCtx is the campaign context handed to every exp run; canceling
+	// it (the drain deadline path) fences in-flight jobs and completes
+	// queued ones as canceled without running them.
+	jobCtx     context.Context
+	cancelJobs context.CancelFunc
+
+	mu       sync.Mutex
+	queue    chan *task
+	draining bool
+	jobs     map[string]*task
+	order    []string // job ids in submission order
+	seq      int
+
+	wg sync.WaitGroup // worker goroutines
+
+	// Counters read lock-free by stats sources and handlers.
+	submitted, completed, failed, canceled atomic.Int64
+	shed, depth, inFlight                  atomic.Int64
+}
+
+// task is one admitted (or cache-satisfied) job.
+type task struct {
+	id   string
+	spec Spec
+	hash uint64
+	hub  *eventHub
+	done chan struct{}
+
+	mu     sync.Mutex
+	status string // queued | running | done | failed | canceled
+	body   []byte
+	errMsg string
+	cached bool
+}
+
+func (t *task) snapshot() (status string, body []byte, errMsg string, cached bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status, t.body, t.errMsg, t.cached
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.JobTimeout < 0 {
+		cfg.JobTimeout = 0
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        stats.New(),
+		cache:      NewCache(cfg.CacheSize),
+		mux:        http.NewServeMux(),
+		jobCtx:     ctx,
+		cancelJobs: cancel,
+		queue:      make(chan *task, cfg.QueueDepth),
+		jobs:       make(map[string]*task),
+	}
+	s.registerStats()
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the server's registry so hosts (cmd/socd) can render
+// or extend the serve/* namespace.
+func (s *Server) Metrics() *stats.Registry { return s.reg }
+
+// registerStats publishes the daemon's own counters into the same
+// path/name namespace socsim -stats uses, so /metrics renders queue,
+// cache, and job health as one tree.
+func (s *Server) registerStats() {
+	s.reg.Source("serve/queue", func(emit stats.Emit) {
+		emit("capacity", float64(s.cfg.QueueDepth))
+		emit("depth", float64(s.depth.Load()))
+		emit("in_flight", float64(s.inFlight.Load()))
+		emit("shed_total", float64(s.shed.Load()))
+		emit("workers", float64(s.cfg.Workers))
+	})
+	s.reg.Source("serve/cache", func(emit stats.Emit) {
+		size, capacity, hits, misses, evictions, bytes := s.cache.Stats()
+		emit("bytes", float64(bytes))
+		emit("capacity", float64(capacity))
+		emit("evictions", float64(evictions))
+		emit("hits", float64(hits))
+		emit("misses", float64(misses))
+		emit("size", float64(size))
+	})
+	s.reg.Source("serve/jobs", func(emit stats.Emit) {
+		emit("canceled", float64(s.canceled.Load()))
+		emit("completed", float64(s.completed.Load()))
+		emit("failed", float64(s.failed.Load()))
+		emit("submitted", float64(s.submitted.Load()))
+	})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// newTask registers a task record under the next id. Callers hold no
+// locks; registration is internally synchronized.
+func (s *Server) newTask(spec Spec, hash uint64, status string) *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	t := &task{
+		id:     fmt.Sprintf("job-%d", s.seq),
+		spec:   spec,
+		hash:   hash,
+		hub:    newEventHub(),
+		done:   make(chan struct{}),
+		status: status,
+	}
+	s.jobs[t.id] = t
+	s.order = append(s.order, t.id)
+	return t
+}
+
+// worker drains the admission queue until it closes (drain) and the
+// backlog is gone.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.depth.Add(-1)
+		s.runTask(t)
+	}
+}
+
+// runTask executes one admitted job through the exp runner, inheriting
+// its panic isolation, per-job timeout, derived seeding, and context
+// cancellation, then records the outcome and feeds the cache.
+func (s *Server) runTask(t *task) {
+	if s.jobCtx.Err() != nil {
+		s.canceled.Add(1)
+		s.finish(t, "canceled", nil, "canceled during drain")
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	t.mu.Lock()
+	t.status = "running"
+	t.mu.Unlock()
+	t.hub.publish(Event{Event: "start", Label: t.spec.Kind})
+
+	sum := exp.Run([]exp.Job{{
+		Name: "job",
+		Run: func(c *exp.Ctx) (any, error) {
+			return Execute(c, t.spec, func(done, total int, label string) {
+				t.hub.publish(Event{Event: "progress", Done: done, Total: total, Label: label})
+			})
+		},
+	}},
+		exp.Named("serve"),
+		exp.Seed(int64(t.hash)),
+		exp.WithContext(s.jobCtx),
+		exp.Timeout(s.cfg.JobTimeout),
+	)
+	r := sum.Results[0]
+	switch {
+	case r.Canceled:
+		s.canceled.Add(1)
+		s.finish(t, "canceled", nil, r.Err.Error())
+	case r.Failed():
+		s.failed.Add(1)
+		s.finish(t, "failed", nil, r.Err.Error())
+	default:
+		body := r.Value.([]byte)
+		// Two concurrent submissions of the same spec both compute here;
+		// the bodies are byte-identical by construction and Put keeps the
+		// first, so the race is harmless.
+		s.cache.Put(t.hash, body)
+		s.completed.Add(1)
+		s.finish(t, "done", body, "")
+	}
+}
+
+func (s *Server) finish(t *task, status string, body []byte, errMsg string) {
+	t.mu.Lock()
+	t.status, t.body, t.errMsg = status, body, errMsg
+	t.mu.Unlock()
+	ev := Event{Event: status}
+	if errMsg != "" {
+		ev.Error = errMsg
+	}
+	t.hub.publish(ev)
+	close(t.done)
+	s.cfg.Logf("serve: %s %s %s [%s]", t.id, t.spec.Kind, status, HashString(t.hash))
+}
+
+// BeginDrain stops admission: subsequent submissions get 503, and the
+// queue channel closes so workers exit once the backlog is processed.
+// Idempotent.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	// Admission sends happen under s.mu, so closing under the same lock
+	// can never race a send on the closed channel.
+	close(s.queue)
+}
+
+// Shutdown is the graceful-drain path: stop admitting, let queued and
+// in-flight jobs finish until ctx expires, then cancel the rest through
+// the campaign context, wait for the workers, and flush a final stats
+// snapshot to the log. The goroutine count returns to its pre-New level.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelJobs()
+		<-done
+	}
+	s.cancelJobs() // release the context in the clean-drain path too
+	var buf bytes.Buffer
+	if werr := s.reg.WriteJSON(&buf); werr == nil {
+		s.cfg.Logf("serve: final stats\n%s", buf.String())
+	}
+	return err
+}
+
+// ---- HTTP handlers ----
+
+// submitResponse is the POST /jobs reply.
+type submitResponse struct {
+	ID     string `json:"id"`
+	Hash   string `json:"hash"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+}
+
+// statusResponse is the GET /jobs[/{id}] reply row.
+type statusResponse struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Hash   string `json:"hash"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	spec, err := ParseSpec(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash := spec.Hash()
+	wait := r.URL.Query().Get("wait") == "1"
+	s.submitted.Add(1)
+
+	if body, ok := s.cache.Get(hash); ok {
+		t := s.newTask(spec, hash, "done")
+		t.mu.Lock()
+		t.body, t.cached = body, true
+		t.mu.Unlock()
+		t.hub.publish(Event{Event: "done", Cached: true})
+		close(t.done)
+		if wait {
+			s.writeResult(w, t)
+			return
+		}
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: t.id, Hash: HashString(hash), Status: "done", Cached: true,
+		})
+		return
+	}
+
+	// Admission: the queue send happens under s.mu so it can never race
+	// BeginDrain's close; a full queue sheds the request instead of
+	// blocking the handler.
+	t := s.newTask(spec, hash, "queued")
+	s.mu.Lock()
+	draining := s.draining
+	admitted := false
+	if !draining {
+		select {
+		case s.queue <- t:
+			admitted = true
+		default:
+		}
+	}
+	s.mu.Unlock()
+	if draining {
+		s.dropTask(t)
+		w.Header().Set("Retry-After", "30")
+		writeErr(w, http.StatusServiceUnavailable, "draining: not admitting jobs")
+		return
+	}
+	if !admitted {
+		// Load shed: drop the record too — a 429'd job has no id to poll.
+		s.dropTask(t)
+		s.shed.Add(1)
+		retry := 1 + 2*int(s.depth.Load()+s.inFlight.Load())
+		if retry > 60 {
+			retry = 60
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep): retry after %ds",
+			s.cfg.QueueDepth, retry)
+		return
+	}
+	s.depth.Add(1)
+	t.hub.publish(Event{Event: "queued", Label: spec.Kind})
+	if wait {
+		select {
+		case <-t.done:
+			s.writeResult(w, t)
+		case <-r.Context().Done():
+			// Client gave up; the job keeps running and stays pollable.
+			writeErr(w, http.StatusRequestTimeout, "client canceled while waiting for %s", t.id)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: t.id, Hash: HashString(hash), Status: "queued", Cached: false,
+	})
+}
+
+// dropTask removes a never-admitted task's record: a shed or refused
+// submission has no id worth polling.
+func (s *Server) dropTask(t *task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, t.id)
+	if n := len(s.order); n > 0 && s.order[n-1] == t.id {
+		s.order = s.order[:n-1]
+	}
+}
+
+func (s *Server) lookup(id string) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.jobs[id]
+	return t, ok
+}
+
+func (s *Server) statusOf(t *task) statusResponse {
+	status, _, errMsg, cached := t.snapshot()
+	return statusResponse{
+		ID: t.id, Kind: t.spec.Kind, Hash: HashString(t.hash),
+		Status: status, Cached: cached, Error: errMsg,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]statusResponse, 0, len(ids))
+	for _, id := range ids {
+		if t, ok := s.lookup(id); ok {
+			out = append(out, s.statusOf(t))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(t))
+}
+
+// writeResult serves a finished task's body verbatim — the bytes the
+// cache stores are the bytes on the wire, which is what makes the
+// byte-identity contract end-to-end observable.
+func (s *Server) writeResult(w http.ResponseWriter, t *task) {
+	status, body, errMsg, cached := t.snapshot()
+	switch status {
+	case "done":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Job-Id", t.id)
+		if cached {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write(body)
+	case "failed":
+		writeErr(w, http.StatusInternalServerError, "%s", errMsg)
+	case "canceled":
+		writeErr(w, http.StatusConflict, "%s", errMsg)
+	default:
+		writeJSON(w, http.StatusAccepted, s.statusOf(t))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	s.writeResult(w, t)
+}
+
+// handleStream tails a job's event log as chunked NDJSON: full replay
+// first, then live events until the terminal one. Every line is one
+// Event with a contiguous job-local seq, so watcher-side ordering checks
+// are trivial.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	replay, live, cancel := t.hub.subscribe()
+	defer cancel()
+	for _, e := range replay {
+		enc.Encode(e)
+	}
+	if canFlush {
+		flusher.Flush()
+	}
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return
+			}
+			enc.Encode(e)
+			if canFlush {
+				flusher.Flush()
+			}
+			if e.Terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"workers":   s.cfg.Workers,
+		"queue":     s.depth.Load(),
+		"in_flight": s.inFlight.Load(),
+	})
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/soc"
+)
+
+// Job kinds the service executes. Each maps to one of the repo's batch
+// workloads; see jobs.go for the adapters.
+const (
+	KindSim       = "sim"       // one SoC-level test (internal/soc)
+	KindLint      = "lint"      // static design-rule check of one design (internal/lint)
+	KindStallHunt = "stallhunt" // §2.3 multi-seed stall-injection campaign (internal/verif)
+	KindQoR       = "qor"       // HLS/synthesis QoR table (internal/core)
+	KindFig6      = "fig6"      // TLM-vs-RTL cycle comparison (internal/soc)
+)
+
+// Spec is the wire form of a job request. One flat struct covers every
+// kind; Normalize fills kind-appropriate defaults and zeroes fields the
+// kind does not read, so specs that request the same work canonicalize
+// to the same bytes.
+type Spec struct {
+	Kind string `json:"kind"`
+
+	// sim + lint + fig6
+	Test      string `json:"test,omitempty"`       // SoC test name; lint also accepts fixtures
+	Mode      string `json:"mode,omitempty"`       // tlm | signal | rtl
+	GALS      bool   `json:"gals,omitempty"`       // per-partition clock generators
+	MaxCycles uint64 `json:"max_cycles,omitempty"` // controller-cycle budget
+
+	// sim + stallhunt
+	Stall float64 `json:"stall,omitempty"` // stall-injection probability
+	Seed  int64   `json:"seed,omitempty"`  // stall / campaign seed
+
+	// stallhunt
+	Messages int `json:"messages,omitempty"` // messages per producer
+	Seeds    int `json:"seeds,omitempty"`    // campaign width (stall seeds)
+
+	// Parallel shards campaign kinds over the in-job worker pool. It is
+	// deliberately absent from the canonical encoding: parallelism never
+	// changes results (internal/exp's seed-derivation invariant), so two
+	// submissions differing only here are the same content address.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// simModes are the accepted channel models, matching socsim -mode.
+var simModes = map[string]bool{"tlm": true, "signal": true, "rtl": true}
+
+// knownTest reports whether name is a shipped SoC test; withFixtures
+// additionally admits the deliberately broken lint fixtures.
+func knownTest(name string, withFixtures bool) bool {
+	cases := append(soc.Tests(), soc.ExtraTests()...)
+	if withFixtures {
+		cases = append(cases, soc.LintFixtures()...)
+	}
+	for _, tc := range cases {
+		if tc.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize validates the spec and rewrites it into canonical form:
+// defaults filled, fields foreign to the kind zeroed. It must be called
+// before Canonical or Hash; the server normalizes every spec at
+// admission so equal work hashes equally however sparsely the client
+// spelled it.
+func (s *Spec) Normalize() error {
+	switch s.Kind {
+	case KindSim:
+		if s.Test == "" {
+			s.Test = "memcpy"
+		}
+		if !knownTest(s.Test, false) {
+			return fmt.Errorf("serve: unknown sim test %q", s.Test)
+		}
+		if s.Mode == "" {
+			s.Mode = "tlm"
+		}
+		if !simModes[s.Mode] {
+			return fmt.Errorf("serve: unknown mode %q", s.Mode)
+		}
+		if s.MaxCycles == 0 {
+			s.MaxCycles = 10_000_000
+		}
+		if s.Stall < 0 || s.Stall >= 1 {
+			return fmt.Errorf("serve: stall probability %v out of [0,1)", s.Stall)
+		}
+		if s.Stall > 0 && s.Seed == 0 {
+			s.Seed = 1
+		}
+		if s.Stall == 0 {
+			s.Seed = 0 // unread without injection; don't fork the hash
+		}
+		s.Messages, s.Seeds = 0, 0
+	case KindLint:
+		if s.Test == "" {
+			s.Test = "memcpy"
+		}
+		if !knownTest(s.Test, true) {
+			return fmt.Errorf("serve: unknown lint design %q", s.Test)
+		}
+		if s.Mode == "" {
+			s.Mode = "tlm"
+		}
+		if !simModes[s.Mode] {
+			return fmt.Errorf("serve: unknown mode %q", s.Mode)
+		}
+		s.MaxCycles, s.Stall, s.Seed, s.Messages, s.Seeds = 0, 0, 0, 0, 0
+	case KindStallHunt:
+		if s.Stall == 0 {
+			s.Stall = 0.3
+		}
+		if s.Stall < 0 || s.Stall >= 1 {
+			return fmt.Errorf("serve: stall probability %v out of [0,1)", s.Stall)
+		}
+		if s.Messages == 0 {
+			s.Messages = 200
+		}
+		if s.Seeds == 0 {
+			s.Seeds = 8
+		}
+		if s.Messages < 1 || s.Seeds < 1 {
+			return fmt.Errorf("serve: stallhunt needs messages >= 1 and seeds >= 1")
+		}
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		s.Test, s.Mode, s.GALS, s.MaxCycles = "", "", false, 0
+	case KindQoR:
+		s.Test, s.Mode, s.GALS = "", "", false
+		s.MaxCycles, s.Stall, s.Seed, s.Messages, s.Seeds = 0, 0, 0, 0, 0
+	case KindFig6:
+		if s.MaxCycles == 0 {
+			s.MaxCycles = 10_000_000
+		}
+		s.Test, s.Mode, s.GALS = "", "", false
+		s.Stall, s.Seed, s.Messages, s.Seeds = 0, 0, 0, 0
+	default:
+		// Synthetic kinds registered by the package tests pass through
+		// with the spec as given; production builds register none.
+		if _, ok := testKinds[s.Kind]; ok {
+			if s.Parallel < 0 {
+				s.Parallel = 0
+			}
+			return nil
+		}
+		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
+	}
+	if s.Parallel < 0 {
+		s.Parallel = 0
+	}
+	return nil
+}
+
+// Canonical renders the normalized spec as its canonical byte string:
+// every result-relevant field, always present, in fixed order. This is
+// the service's content address; two specs requesting the same work
+// produce the same bytes regardless of client-side field spelling,
+// omission, or shard width.
+func (s *Spec) Canonical() []byte {
+	var b strings.Builder
+	b.WriteString(`{"kind":`)
+	b.Write(quoteJSON(s.Kind))
+	b.WriteString(`,"test":`)
+	b.Write(quoteJSON(s.Test))
+	b.WriteString(`,"mode":`)
+	b.Write(quoteJSON(s.Mode))
+	b.WriteString(`,"gals":`)
+	b.WriteString(strconv.FormatBool(s.GALS))
+	b.WriteString(`,"max_cycles":`)
+	b.WriteString(strconv.FormatUint(s.MaxCycles, 10))
+	b.WriteString(`,"stall":`)
+	b.WriteString(strconv.FormatFloat(s.Stall, 'g', -1, 64))
+	b.WriteString(`,"seed":`)
+	b.WriteString(strconv.FormatInt(s.Seed, 10))
+	b.WriteString(`,"messages":`)
+	b.WriteString(strconv.Itoa(s.Messages))
+	b.WriteString(`,"seeds":`)
+	b.WriteString(strconv.Itoa(s.Seeds))
+	b.WriteString("}")
+	return []byte(b.String())
+}
+
+// Hash is the FNV-1a content hash of the canonical spec bytes — the
+// result cache key and the seed root for the job's exp campaign.
+func (s *Spec) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(s.Canonical())
+	return h.Sum64()
+}
+
+// HashString renders a content hash in the fixed-width hex form used in
+// API responses and logs.
+func HashString(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// quoteJSON renders s as a JSON string literal (deterministic escaping).
+func quoteJSON(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return []byte(`""`)
+	}
+	return b
+}
+
+// ParseSpec decodes and normalizes a client-submitted spec. Unknown
+// fields are rejected so a typoed knob fails loudly instead of silently
+// hashing to different work.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("serve: bad spec: %w", err)
+	}
+	if err := s.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

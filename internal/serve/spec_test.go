@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCanonicalSparseEqualsExplicit: a sparsely spelled spec and its
+// fully defaulted form are the same content address.
+func TestCanonicalSparseEqualsExplicit(t *testing.T) {
+	sparse, err := ParseSpec([]byte(`{"kind":"sim"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := ParseSpec([]byte(`{"kind":"sim","test":"memcpy","mode":"tlm","max_cycles":10000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sparse.Canonical(), explicit.Canonical()) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", sparse.Canonical(), explicit.Canonical())
+	}
+	if sparse.Hash() != explicit.Hash() {
+		t.Fatal("hashes differ for identical work")
+	}
+}
+
+// TestParallelExcludedFromHash: shard width never changes results, so it
+// must not fork the content address.
+func TestParallelExcludedFromHash(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"kind":"stallhunt","seeds":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"kind":"stallhunt","seeds":4,"parallel":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("parallel leaked into the content hash")
+	}
+}
+
+// TestForeignFieldsZeroed: fields a kind does not read must not fork its
+// hash (a lint spec carrying a stray seed is the same lint).
+func TestForeignFieldsZeroed(t *testing.T) {
+	a, err := ParseSpec([]byte(`{"kind":"lint","test":"badcdc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec([]byte(`{"kind":"lint","test":"badcdc","seed":42,"messages":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("kind-foreign fields leaked into the content hash")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []string{
+		`{"kind":"nope"}`,
+		`{"kind":"sim","test":"nope"}`,
+		`{"kind":"sim","mode":"vhdl"}`,
+		`{"kind":"sim","stall":1.5}`,
+		`{"kind":"sim","typo_field":1}`,  // unknown fields fail loudly
+		`{"kind":"sim","test":"badcdc"}`, // fixtures are lint-only
+		`not json`,
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec([]byte(spec)); err == nil {
+			t.Errorf("spec %s accepted, want error", spec)
+		}
+	}
+	good := []string{
+		`{"kind":"lint","test":"badloop"}`,
+		`{"kind":"sim","test":"vecadd","mode":"rtl","gals":true}`,
+		`{"kind":"stallhunt","stall":0.25,"messages":100,"seeds":4,"seed":7}`,
+		`{"kind":"qor"}`,
+		`{"kind":"fig6","max_cycles":100000}`,
+	}
+	for _, spec := range good {
+		if _, err := ParseSpec([]byte(spec)); err != nil {
+			t.Errorf("spec %s rejected: %v", spec, err)
+		}
+	}
+}
+
+// TestDistinctWorkDistinctHash: result-relevant fields must fork the
+// address.
+func TestDistinctWorkDistinctHash(t *testing.T) {
+	specs := []string{
+		`{"kind":"sim","test":"memcpy"}`,
+		`{"kind":"sim","test":"vecadd"}`,
+		`{"kind":"sim","test":"memcpy","gals":true}`,
+		`{"kind":"sim","test":"memcpy","mode":"rtl"}`,
+		`{"kind":"sim","test":"memcpy","stall":0.2,"seed":3}`,
+		`{"kind":"sim","test":"memcpy","stall":0.2,"seed":4}`,
+		`{"kind":"lint","test":"memcpy"}`,
+	}
+	seen := map[uint64]string{}
+	for _, raw := range specs {
+		s, err := ParseSpec([]byte(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", raw, err)
+		}
+		if prev, dup := seen[s.Hash()]; dup {
+			t.Fatalf("hash collision between %s and %s", prev, raw)
+		}
+		seen[s.Hash()] = raw
+	}
+}

@@ -45,8 +45,11 @@ func RunFig6(maxCycles uint64) ([]Fig6Row, error) {
 // worker pool. Each job publishes its full component-tree metrics
 // snapshot into the campaign summary. Rows come back in Tests() order;
 // a failed run leaves zeros in its half of the row and is reported
-// through the summary.
-func RunFig6Campaign(maxCycles uint64, parallel int) ([]Fig6Row, *exp.Summary) {
+// through the summary. Extra campaign options (exp.OnProgress,
+// exp.WithContext, ...) are appended after the fixed ones; the job
+// service uses them to stream per-run progress and to cancel the figure
+// on graceful drain.
+func RunFig6Campaign(maxCycles uint64, parallel int, extra ...exp.Option) ([]Fig6Row, *exp.Summary) {
 	type modeCase struct {
 		suffix string
 		mode   connections.Mode
@@ -87,7 +90,8 @@ func RunFig6Campaign(maxCycles uint64, parallel int) ([]Fig6Row, *exp.Summary) {
 		}
 	}
 
-	s := exp.Run(jobs, exp.Named("fig6"), exp.Parallel(parallel))
+	opts := append([]exp.Option{exp.Named("fig6"), exp.Parallel(parallel)}, extra...)
+	s := exp.Run(jobs, opts...)
 	var rows []Fig6Row
 	for _, tc := range Tests() {
 		row := Fig6Row{Test: tc.Name}

@@ -1,10 +1,13 @@
 package stats
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -142,13 +145,19 @@ func (r *Registry) Snapshot() []Metric {
 
 // SortMetrics orders a metric list path-then-name, with numeric runs in
 // paths compared by value so replicated components ("pe[2]" before
-// "pe[10]") list in natural index order in tree and JSON dumps.
+// "pe[10]") list in natural index order in tree and JSON dumps. Ties on
+// (path, name) — a counter and a source emitting the same key, say —
+// break on value, so the order is total and the rendered bytes never
+// depend on map iteration or registration order.
 func SortMetrics(ms []Metric) {
-	sort.Slice(ms, func(i, j int) bool {
+	sort.SliceStable(ms, func(i, j int) bool {
 		if c := naturalCmp(ms[i].Path, ms[j].Path); c != 0 {
 			return c < 0
 		}
-		return naturalCmp(ms[i].Name, ms[j].Name) < 0
+		if c := naturalCmp(ms[i].Name, ms[j].Name); c != 0 {
+			return c < 0
+		}
+		return ms[i].Value < ms[j].Value
 	})
 }
 
@@ -286,10 +295,54 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WriteMetricsJSON writes an already-collected metric list in the same
 // dump format; campaign summaries (internal/exp) use it to publish
 // without a live registry.
+//
+// The encoder is hand-rolled rather than delegated to encoding/json so
+// the bytes are canonical: object keys always in (path, name, value)
+// order, one metric per line, floats in their shortest round-trip form.
+// The service layer's content-addressed result cache depends on two
+// renders of the same metric list being byte-identical.
 func WriteMetricsJSON(w io.Writer, ms []Metric) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(jsonDump{Metrics: ms})
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\n \"metrics\": [")
+	for i, m := range ms {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString("\n  {\"path\":")
+		bw.Write(quoteJSON(m.Path))
+		bw.WriteString(",\"name\":")
+		bw.Write(quoteJSON(m.Name))
+		bw.WriteString(",\"value\":")
+		bw.WriteString(FormatJSONFloat(m.Value))
+		bw.WriteByte('}')
+	}
+	bw.WriteString("\n ]\n}\n")
+	return bw.Flush()
+}
+
+// quoteJSON renders s as a JSON string literal. encoding/json's string
+// escaping is deterministic, so delegating here keeps the canonical
+// encoder honest on the one field class that can hold arbitrary bytes.
+func quoteJSON(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return []byte(`""`)
+	}
+	return b
+}
+
+// FormatJSONFloat renders a metric value deterministically: integral
+// values as plain integers (the common counter case), everything else in
+// strconv's shortest round-trip form. NaN and infinities have no JSON
+// spelling and degrade to 0.
+func FormatJSONFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // ParseJSON decodes a dump written by WriteJSON back into a metric list.

@@ -183,3 +183,87 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal("bad JSON accepted")
 	}
 }
+
+// TestWriteMetricsJSONGoldenBytes pins the canonical dump encoding down
+// to the byte: key order, indentation, float spelling. The service
+// layer's content-addressed result cache serves stored bytes verbatim
+// and asserts recomputed results match them, so this format must never
+// drift nondeterministically.
+func TestWriteMetricsJSONGoldenBytes(t *testing.T) {
+	ms := []Metric{
+		{Path: "serve/cache", Name: "hits", Value: 3},
+		{Path: "soc/pe[2]", Name: "util", Value: 0.25},
+		{Path: "", Name: "uptime", Value: 1e21},
+	}
+	const golden = "{\n \"metrics\": [\n" +
+		"  {\"path\":\"serve/cache\",\"name\":\"hits\",\"value\":3},\n" +
+		"  {\"path\":\"soc/pe[2]\",\"name\":\"util\",\"value\":0.25},\n" +
+		"  {\"path\":\"\",\"name\":\"uptime\",\"value\":1e+21}\n" +
+		" ]\n}\n"
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Fatalf("canonical dump drifted:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+	// The canonical form must still be plain JSON for ParseJSON consumers.
+	parsed, err := ParseJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(ms) {
+		t.Fatalf("roundtrip lost metrics: %v", parsed)
+	}
+	for i := range ms {
+		if parsed[i] != ms[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, parsed[i], ms[i])
+		}
+	}
+}
+
+// TestWriteMetricsJSONDeterministicAcrossInputOrder feeds the same
+// multiset of metrics in two different orders — including a (path, name)
+// collision — and requires byte-identical dumps after SortMetrics.
+func TestWriteMetricsJSONDeterministicAcrossInputOrder(t *testing.T) {
+	a := []Metric{
+		{Path: "q", Name: "depth", Value: 2},
+		{Path: "q", Name: "depth", Value: 1}, // same key, different source
+		{Path: "p", Name: "x", Value: 7},
+	}
+	b := []Metric{a[2], a[0], a[1]}
+	render := func(ms []Metric) string {
+		SortMetrics(ms)
+		var buf bytes.Buffer
+		if err := WriteMetricsJSON(&buf, ms); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if ra, rb := render(a), render(b); ra != rb {
+		t.Fatalf("dump depends on input order:\n%s\nvs\n%s", ra, rb)
+	}
+}
+
+func TestFormatJSONFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {17, "17"}, {-3, "-3"}, {42.5, "42.5"},
+		{0.1, "0.1"}, {1e21, "1e+21"},
+	}
+	for _, c := range cases {
+		if got := FormatJSONFloat(c.v); got != c.want {
+			t.Errorf("FormatJSONFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	for _, bad := range []float64{nan(), inf()} {
+		if got := FormatJSONFloat(bad); got != "0" {
+			t.Errorf("FormatJSONFloat(non-finite) = %q, want 0", got)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }

@@ -79,8 +79,11 @@ type StallHuntCampaign struct {
 // independently derived stall seeds, one campaign job per seed
 // ("seed[i]") sharded over the runner's worker pool. Each job's stall
 // seed comes from the campaign seed-derivation rule, so the aggregate
-// is bit-identical for any parallelism level.
-func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int64, parallel int) (StallHuntCampaign, *exp.Summary) {
+// is bit-identical for any parallelism level. Extra campaign options
+// (exp.OnProgress, exp.WithContext, ...) are appended after the fixed
+// ones; the job service uses them to stream per-seed progress and to
+// cancel a hunt on graceful drain.
+func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int64, parallel int, extra ...exp.Option) (StallHuntCampaign, *exp.Summary) {
 	jobs := make([]exp.Job, nSeeds)
 	for i := range jobs {
 		jobs[i] = exp.Job{
@@ -90,7 +93,8 @@ func RunStallHuntCampaign(pStall float64, messages, nSeeds int, campaignSeed int
 			},
 		}
 	}
-	s := exp.Run(jobs, exp.Named("stallhunt"), exp.Seed(campaignSeed), exp.Parallel(parallel))
+	opts := append([]exp.Option{exp.Named("stallhunt"), exp.Seed(campaignSeed), exp.Parallel(parallel)}, extra...)
+	s := exp.Run(jobs, opts...)
 	agg := StallHuntCampaign{FirstBugIndex: -1}
 	for i, r := range s.Results {
 		res, ok := r.Value.(StallHuntResult)

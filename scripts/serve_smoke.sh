@@ -1,0 +1,70 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the socd job daemon.
+#
+# Builds the real socd and socctl binaries, boots the daemon on an
+# ephemeral port, drives it over the network like a client would —
+# lint job, sim job, cache-hit resubmission — and checks the metrics
+# endpoint and graceful SIGTERM drain. Run via `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+trap 'kill "$SOCD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+fail() {
+	echo "serve-smoke: FAIL: $*" >&2
+	echo "--- socd stderr ---" >&2
+	cat "$WORK/socd.err" >&2 || true
+	exit 1
+}
+
+"$GO" build -o "$WORK/socd" ./cmd/socd
+"$GO" build -o "$WORK/socctl" ./cmd/socctl
+
+"$WORK/socd" -addr 127.0.0.1:0 -workers 2 >"$WORK/socd.out" 2>"$WORK/socd.err" &
+SOCD_PID=$!
+
+# First stdout line is "listening on <host:port>".
+ADDR=
+for _ in $(seq 1 50); do
+	ADDR=$(head -n 1 "$WORK/socd.out" 2>/dev/null | sed -n 's/^listening on //p')
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || fail "socd never printed its listen address"
+CTL="$WORK/socctl -addr $ADDR"
+
+# Lint job: the badcdc fixture must surface its CDC-1 error diagnostic.
+$CTL submit -kind lint -test badcdc -wait >"$WORK/lint.json" \
+	|| fail "lint submission failed"
+grep -q '"CDC-1"' "$WORK/lint.json" || fail "lint result missing CDC-1"
+
+# Sim job twice: identical results, second served from the cache.
+$CTL submit -kind sim -test memcpy -wait >"$WORK/sim1.json" \
+	|| fail "sim submission failed"
+grep -q '"status": "PASS"' "$WORK/sim1.json" || fail "sim did not PASS"
+$CTL submit -kind sim -test memcpy -wait >"$WORK/sim2.json" \
+	|| fail "sim resubmission failed"
+cmp -s "$WORK/sim1.json" "$WORK/sim2.json" \
+	|| fail "cached sim result not byte-identical"
+
+# Metrics must show exactly one cache hit and three submissions.
+$CTL metrics >"$WORK/metrics.json" || fail "metrics fetch failed"
+grep -q '{"path":"serve/cache","name":"hits","value":1}' "$WORK/metrics.json" \
+	|| fail "serve/cache hits != 1"
+grep -q '{"path":"serve/jobs","name":"submitted","value":3}' "$WORK/metrics.json" \
+	|| fail "serve/jobs submitted != 3"
+$CTL health >/dev/null || fail "healthz not ok"
+
+# Graceful drain: SIGTERM must exit cleanly (status 0) within budget.
+kill -TERM "$SOCD_PID"
+i=0
+while kill -0 "$SOCD_PID" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -le 100 ] || fail "socd did not drain within 10s of SIGTERM"
+	sleep 0.1
+done
+wait "$SOCD_PID" || fail "socd exited non-zero after SIGTERM"
+grep -q "drained, exiting" "$WORK/socd.err" || fail "drain log line missing"
+
+echo "serve-smoke: PASS (socd at $ADDR: lint, sim, cache hit, drain)"
