@@ -15,7 +15,7 @@ test: build
 # tracing armed, and enforce the disarmed tracing overhead budget
 # (<= 2% over the untraced primitives).
 check: vet
-	$(GO) test -race ./internal/sim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve
+	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
 	$(MAKE) serve-smoke

@@ -1,8 +1,8 @@
 // Command detvet is the repo's determinism vet: a syntactic analyzer
 // over the simulation-kernel packages whose results must be bit-identical
 // across runs and machines (internal/sim, internal/connections,
-// internal/gals, internal/noc). It flags the three ways nondeterminism
-// usually leaks into a Go simulator:
+// internal/gals, internal/noc, internal/psim). It flags the three ways
+// nondeterminism usually leaks into a Go simulator:
 //
 //   - importing "time" (wall-clock reads in simulated-time code),
 //   - calling the global math/rand source (rand.Intn and friends share
@@ -37,6 +37,7 @@ var checkedDirs = []string{
 	"internal/connections",
 	"internal/gals",
 	"internal/noc",
+	"internal/psim",
 }
 
 // randAllowed are the math/rand selectors that construct or name seeded

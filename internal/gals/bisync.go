@@ -79,19 +79,24 @@ func NewPausibleBisyncFIFO[T any](s *sim.Simulator, name string, prod, cons *sim
 // inside that window, the mutex stretches c's next edge just past it.
 // The pause is tiny (window ps), so the pessimistic phase test costs
 // almost nothing while guaranteeing an error-free crossing.
-func (f *PausibleBisyncFIFO[T]) pauseIfConflict(c *sim.Clock) {
+func (f *PausibleBisyncFIFO[T]) pauseIfConflict(c, from *sim.Clock) {
 	// The edge that samples this pointer toggle is the clock's actual
 	// next scheduled edge — including phase offset and any shift from
 	// earlier pauses. A now-modulo-period phase test is only right for a
 	// never-paused, zero-phase clock: once the receiver has been
 	// stretched, its edges no longer land on period multiples, so the
 	// modulo test pauses at the wrong phase or misses conflicts.
-	now := f.s.Now()
-	if c.NextEdge() < now+f.window {
-		c.Pause(now + f.window)
+	//
+	// The toggle happens on from's current edge, so from.Now is the
+	// crossing instant (identical to Simulator.Now sequentially, and the
+	// only defined time in a partitioned run). CrossingPause carries the
+	// instant so the kernel can reproduce its due-list-freeze semantics
+	// across shards.
+	now := from.Now()
+	if c.CrossingPause(from, now, now+f.window) {
 		f.Pauses++
 		if f.sub != nil {
-			f.sub.Emit(trace.KindStall, uint64(now), c.Cycle(), 1)
+			f.sub.EmitOn(from.Lane(), trace.KindStall, uint64(now), c.Cycle(), 1)
 		}
 	}
 }
@@ -100,9 +105,10 @@ func (f *PausibleBisyncFIFO[T]) pauseIfConflict(c *sim.Clock) {
 // stamped with clock c's cycle count (producer clock for push-side
 // events, consumer clock for pop-side events).
 func (f *PausibleBisyncFIFO[T]) record(k trace.Kind, c *sim.Clock) {
-	now, cyc := uint64(f.s.Now()), c.Cycle()
+	now, cyc := uint64(c.Now()), c.Cycle()
+	lane := c.Lane()
 	occ := uint64(f.Occupancy())
-	f.sub.Emit(k, now, cyc, occ)
+	f.sub.EmitOn(lane, k, now, cyc, occ)
 	var valid, ready uint64
 	if f.rptr != f.wptr {
 		valid = 1
@@ -111,15 +117,15 @@ func (f *PausibleBisyncFIFO[T]) record(k trace.Kind, c *sim.Clock) {
 		ready = 1
 	}
 	if !f.tInit || valid != f.tLastValid {
-		f.sub.Emit(trace.KindValid, now, cyc, valid)
+		f.sub.EmitOn(lane, trace.KindValid, now, cyc, valid)
 		f.tLastValid = valid
 	}
 	if !f.tInit || ready != f.tLastReady {
-		f.sub.Emit(trace.KindReady, now, cyc, ready)
+		f.sub.EmitOn(lane, trace.KindReady, now, cyc, ready)
 		f.tLastReady = ready
 	}
 	if k == trace.KindPush || k == trace.KindPop {
-		f.sub.Emit(trace.KindOcc, now, cyc, occ)
+		f.sub.EmitOn(lane, trace.KindOcc, now, cyc, occ)
 	}
 	f.tInit = true
 }
@@ -138,7 +144,7 @@ func (f *PausibleBisyncFIFO[T]) PushNB(v T) bool {
 		f.record(trace.KindPush, f.prod)
 	}
 	// The write pointer crosses toward the consumer clock now.
-	f.pauseIfConflict(f.cons)
+	f.pauseIfConflict(f.cons, f.prod)
 	return true
 }
 
@@ -167,7 +173,7 @@ func (f *PausibleBisyncFIFO[T]) PopNB() (T, bool) {
 		f.record(trace.KindPop, f.cons)
 	}
 	// The read pointer crosses toward the producer clock now.
-	f.pauseIfConflict(f.prod)
+	f.pauseIfConflict(f.prod, f.cons)
 	return v, true
 }
 

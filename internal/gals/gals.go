@@ -83,8 +83,12 @@ func NewClockGen(s *sim.Simulator, name string, nominalPS float64, noise *Supply
 	}
 	g.Clock = s.AddClock(name, sim.Time(g.safePeriod(noise.VMin())), phase)
 	if adaptive {
-		g.Clock.AtCommit(func() {
-			v := noise.At(s.Now())
+		clk := g.Clock
+		clk.AtCommit(func() {
+			// clk.Now, not s.Now: commit hooks run inside the clock's own
+			// edge, where clock-local time is the defined (and, in a
+			// partitioned run, the only shard-safe) time source.
+			v := noise.At(clk.Now())
 			g.Clock.SetPeriod(sim.Time(g.safePeriod(v)))
 		})
 	}

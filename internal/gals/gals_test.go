@@ -137,14 +137,14 @@ func TestPauseWindowTracksShiftedEdges(t *testing.T) {
 	// modelling a pointer crossing toward b at that instant.
 	s.AddClock("probe1", 100_000, 2980).Spawn("far", func(th *sim.Thread) {
 		before := f.Pauses
-		f.pauseIfConflict(b)
+		f.pauseIfConflict(b, th.Clock())
 		if f.Pauses != before {
 			t.Errorf("paused at t=2980: next b edge is 520ps away, outside the 40ps window")
 		}
 	})
 	s.AddClock("probe2", 100_000, 3480).Spawn("near", func(th *sim.Thread) {
 		before := f.Pauses
-		f.pauseIfConflict(b)
+		f.pauseIfConflict(b, th.Clock())
 		if f.Pauses != before+1 {
 			t.Errorf("no pause at t=3480: next b edge at 3500 is 20ps away, inside the 40ps window")
 		}

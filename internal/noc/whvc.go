@@ -151,7 +151,7 @@ func (r *WHVCRouter) forward(th *sim.Thread, o, i, v int) bool {
 		if r.sub != nil {
 			// Router-level back-pressure: the crossbar had a flit for
 			// output o but the downstream VC buffer refused it.
-			r.sub.Emit(trace.KindFull, uint64(r.clk.Sim().Now()), r.clk.Cycle(), uint64(o))
+			r.sub.EmitOn(r.clk.Lane(), trace.KindFull, uint64(r.clk.Now()), r.clk.Cycle(), uint64(o))
 		}
 		return false
 	}

@@ -1,0 +1,96 @@
+// Package psim plans and drives partition-parallel simulation: it cuts a
+// design's GALS clock graph into shards along its declared synchronizer
+// boundaries and runs the sim package's partition engine over them in
+// deterministic time windows.
+//
+// The division of labor: internal/sim owns the mechanism (the shard
+// workers and the conservative key protocol that reproduces sequential
+// edge order bit-exactly — see internal/sim/partition.go); psim owns the
+// policy — which clocks share a shard, which declared interactions make
+// two shards neighbors, and where the window barriers fall that make
+// dynamic stop conditions deterministic for every shard count.
+package psim
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Plan is one partition cut: clock groups (one per shard) plus the
+// cross-group interactions the engine must synchronize on.
+type Plan struct {
+	Groups  [][]*sim.Clock
+	Couples [][2]*sim.Clock
+}
+
+// PlanShards cuts the simulator's clocks into at most n shards. Clocks
+// are chunked contiguously in creation order — builders lay clocks out
+// spatially (the SoC mesh is row-major), so contiguous chunks become
+// spatial bands whose only neighbors are the adjacent bands, which is
+// what keeps non-adjacent shards free-running in parallel. Every
+// declared synchronizer (pausible or brute-force) and every declared
+// direct coupling between clocks in different groups becomes a neighbor
+// edge; correctness does not depend on the chunking, only throughput
+// does.
+func PlanShards(s *sim.Simulator, n int) (*Plan, error) {
+	clocks := s.Clocks()
+	if len(clocks) == 0 {
+		return nil, fmt.Errorf("psim: no clocks to partition")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(clocks) {
+		n = len(clocks)
+	}
+	p := &Plan{}
+	per := (len(clocks) + n - 1) / n
+	for lo := 0; lo < len(clocks); lo += per {
+		hi := lo + per
+		if hi > len(clocks) {
+			hi = len(clocks)
+		}
+		p.Groups = append(p.Groups, clocks[lo:hi:hi])
+	}
+	d := s.Design()
+	for _, sy := range d.Syncs() {
+		p.Couples = append(p.Couples, [2]*sim.Clock{sy.Prod, sy.Cons})
+	}
+	for _, cp := range d.Couplings() {
+		p.Couples = append(p.Couples, [2]*sim.Clock{cp.A, cp.B})
+	}
+	return p, nil
+}
+
+// Attach plans an n-way cut and wires the partition engine to the
+// simulator. The caller must Close the engine before resuming
+// sequential stepping (Close also merges the per-shard trace lanes).
+func Attach(s *sim.Simulator, n int) (*sim.Engine, error) {
+	p, err := PlanShards(s, n)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEngine(s, p.Groups, p.Couples)
+}
+
+// RunWindows drives the engine in fixed epoch windows until stop returns
+// true or the simulator stops (panic or Stop call). Within a window
+// every shard runs free under the key protocol — bit-identical to
+// sequential by construction; between windows all shards are quiescent
+// at the same time boundary, which is the only place a dynamic stop
+// condition (firmware exit, cycle budget) can be evaluated without its
+// outcome depending on the shard count. The window grid is anchored at
+// the simulator's current time, so any two runs with the same epoch see
+// identical boundaries regardless of how many shards execute them.
+func RunWindows(s *sim.Simulator, e *sim.Engine, epoch sim.Time, stop func() bool) {
+	if epoch == 0 {
+		epoch = 1
+	}
+	for t := s.Now() + epoch; ; t += epoch {
+		e.Run(t)
+		if s.Stopped() || (stop != nil && stop()) {
+			return
+		}
+	}
+}

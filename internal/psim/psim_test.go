@@ -1,0 +1,189 @@
+package psim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/gals"
+	"repro/internal/psim"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// galsRig is a chain of clock domains joined by real pausible bisync
+// FIFOs — the exact component the partition planner cuts along — with
+// phase-shifted and pre-paused receivers, the clock arrangement of the
+// PR 2 pause-window regression. Producer 0 pushes a counting stream;
+// each middle stage forwards; the tail checks ordering.
+type galsRig struct {
+	s      *sim.Simulator
+	clocks []*sim.Clock
+	fifos  []*gals.PausibleBisyncFIFO[int]
+	recv   []int
+	sent   int
+}
+
+func buildGALSRig(stages int, armed bool) *galsRig {
+	s := sim.New()
+	if armed {
+		s.Arm(trace.NewRecorder())
+	}
+	r := &galsRig{s: s}
+	for i := 0; i <= stages; i++ {
+		// Deliberately awkward phases: co-prime-ish periods plus offsets
+		// that land pointer crossings inside the 40ps conflict window.
+		c := s.AddClock(fmt.Sprintf("dom%02d", i), sim.Time(1000+i*3), sim.Time((i*977)%997))
+		r.clocks = append(r.clocks, c)
+	}
+	// Pre-pause half the receivers so their edges sit off period
+	// multiples before any traffic flows (the PR 2 bug class).
+	for i := 1; i <= stages; i += 2 {
+		r.clocks[i].Pause(sim.Time(1500 + i*211))
+	}
+	for i := 0; i < stages; i++ {
+		f := gals.NewPausibleBisyncFIFO[int](s, fmt.Sprintf("cdc[%d]", i), r.clocks[i], r.clocks[i+1], 4, 40)
+		r.fifos = append(r.fifos, f)
+	}
+	r.clocks[0].Spawn("src", func(th *sim.Thread) {
+		for v := 0; ; v++ {
+			r.fifos[0].Push(th, v)
+			r.sent++
+			if v%7 == 3 {
+				th.WaitN(2)
+			}
+		}
+	})
+	for i := 1; i < stages; i++ {
+		i := i
+		r.clocks[i].Spawn("fwd", func(th *sim.Thread) {
+			for {
+				v := r.fifos[i-1].Pop(th)
+				r.fifos[i].Push(th, v)
+			}
+		})
+	}
+	r.clocks[stages].Spawn("sink", func(th *sim.Thread) {
+		for {
+			r.recv = append(r.recv, r.fifos[stages-1].Pop(th))
+		}
+	})
+	return r
+}
+
+type rigState struct {
+	now        sim.Time
+	totalEdges uint64
+	cycles     []uint64
+	pauses     []uint64
+	transfers  []uint64
+	sent       int
+	recv       []int
+}
+
+func (r *galsRig) state() rigState {
+	st := rigState{now: r.s.Now(), totalEdges: r.s.TotalEdges(), sent: r.sent, recv: r.recv}
+	for _, c := range r.clocks {
+		st.cycles = append(st.cycles, c.Cycle())
+	}
+	for _, f := range r.fifos {
+		st.pauses = append(st.pauses, f.Pauses)
+		st.transfers = append(st.transfers, f.Transfers)
+	}
+	return st
+}
+
+// TestGALSChainBitIdentical: partitioned execution of a pausible-FIFO
+// chain with paused, phase-shifted receiver clocks matches the
+// sequential kernel exactly — data stream, pause counts, cycle counts,
+// and the armed recorder's full event stream.
+func TestGALSChainBitIdentical(t *testing.T) {
+	const stages, horizon = 4, 300_000
+	ref := buildGALSRig(stages, true)
+	ref.s.Run(horizon)
+	want := ref.state()
+	wantEvents := ref.s.Tracer().Events()
+	if len(want.recv) == 0 {
+		t.Fatal("no traffic crossed the chain")
+	}
+	var totalPauses uint64
+	for _, p := range want.pauses {
+		totalPauses += p
+	}
+	if totalPauses == 0 {
+		t.Fatal("no pauses: the rig is not exercising the conflict window")
+	}
+
+	for _, n := range []int{1, 2, 5} {
+		t.Run(fmt.Sprintf("partitions=%d", n), func(t *testing.T) {
+			r := buildGALSRig(stages, true)
+			e, err := psim.Attach(r.s, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run(horizon)
+			e.Close()
+			if got := r.state(); !reflect.DeepEqual(got, want) {
+				t.Errorf("state diverged:\ngot  %+v\nwant %+v", got, want)
+			}
+			got := r.s.Tracer().Events()
+			if len(got) != len(wantEvents) {
+				t.Fatalf("event count %d, want %d", len(got), len(wantEvents))
+			}
+			for i := range got {
+				if got[i] != wantEvents[i] {
+					t.Fatalf("event %d = %+v, want %+v", i, got[i], wantEvents[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunWindowsDeterministicStop: with a dynamic stop condition
+// evaluated at window boundaries, every shard count halts at the same
+// instant with the same state.
+func TestRunWindowsDeterministicStop(t *testing.T) {
+	const stages = 3
+	run := func(n int) rigState {
+		r := buildGALSRig(stages, false)
+		e, err := psim.Attach(r.s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psim.RunWindows(r.s, e, 64*1000, func() bool { return len(r.recv) >= 40 })
+		e.Close()
+		return r.state()
+	}
+	want := run(1)
+	if len(want.recv) < 40 {
+		t.Fatalf("stop condition never reached: %d received", len(want.recv))
+	}
+	for _, n := range []int{2, 4} {
+		if got := run(n); !reflect.DeepEqual(got, want) {
+			t.Errorf("partitions=%d diverged:\ngot  %+v\nwant %+v", n, got, want)
+		}
+	}
+}
+
+// TestPlanShards pins the planner contract: full cover, contiguous
+// chunks, clamping, and sync/coupling propagation.
+func TestPlanShards(t *testing.T) {
+	r := buildGALSRig(4, false)
+	p, err := psim.PlanShards(r.s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, g := range p.Groups {
+		n += len(g)
+	}
+	if n != len(r.clocks) {
+		t.Errorf("groups cover %d clocks, want %d", n, len(r.clocks))
+	}
+	if len(p.Couples) != len(r.fifos) {
+		t.Errorf("%d couples, want %d (one per FIFO)", len(p.Couples), len(r.fifos))
+	}
+	if p2, _ := psim.PlanShards(r.s, 100); len(p2.Groups) != len(r.clocks) {
+		t.Errorf("over-asked plan has %d groups, want clamp to %d", len(p2.Groups), len(r.clocks))
+	}
+}

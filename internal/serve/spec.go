@@ -46,6 +46,15 @@ type Spec struct {
 	// changes results (internal/exp's seed-derivation invariant), so two
 	// submissions differing only here are the same content address.
 	Parallel int `json:"parallel,omitempty"`
+
+	// Partitions runs sim jobs on the partition-parallel engine with this
+	// many shards (internal/psim). Zero keeps the sequential kernel and —
+	// so pre-partition clients keep their content addresses — is absent
+	// from the canonical encoding. Any count >= 1 produces bit-identical
+	// results (the engine's core invariant), so the canonical form keeps
+	// only the fact that the epoch-quantized engine ran, not the width:
+	// partitions=2 and partitions=8 are the same content address.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // simModes are the accepted channel models, matching socsim -mode.
@@ -97,6 +106,9 @@ func (s *Spec) Normalize() error {
 		}
 		if s.Stall == 0 {
 			s.Seed = 0 // unread without injection; don't fork the hash
+		}
+		if s.Partitions < 0 {
+			s.Partitions = 0
 		}
 		s.Messages, s.Seeds = 0, 0
 	case KindLint:
@@ -153,6 +165,9 @@ func (s *Spec) Normalize() error {
 		}
 		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
 	}
+	if s.Kind != KindSim {
+		s.Partitions = 0 // only the sim runner reads it; don't fork hashes
+	}
 	if s.Parallel < 0 {
 		s.Parallel = 0
 	}
@@ -184,6 +199,13 @@ func (s *Spec) Canonical() []byte {
 	b.WriteString(strconv.Itoa(s.Messages))
 	b.WriteString(`,"seeds":`)
 	b.WriteString(strconv.Itoa(s.Seeds))
+	// Appended only when the partition engine is engaged, so every spec
+	// hash minted before the field existed is unchanged; and always as 1,
+	// because every shard count yields bit-identical results (the shard
+	// width is load-balancing, not content — like Parallel above).
+	if s.Partitions > 0 {
+		b.WriteString(`,"partitions":1`)
+	}
 	b.WriteString("}")
 	return []byte(b.String())
 }

@@ -56,6 +56,65 @@ func TestForeignFieldsZeroed(t *testing.T) {
 	}
 }
 
+// TestPartitionsHashCompat pins the codec's back-compat contract around
+// the partitions knob: specs that do not engage the partition engine
+// keep the content address they had before the field existed (golden
+// hashes recorded from the pre-partition codec), every engaged shard
+// width maps to one address (results are bit-identical by the engine's
+// core invariant), and engaged vs sequential are distinct work (the
+// epoch-quantized stop changes the reported cycle counts).
+func TestPartitionsHashCompat(t *testing.T) {
+	golden := map[string]string{
+		`{"kind":"sim"}`:                "5683b2fddb75ba97",
+		`{"kind":"sim","gals":true}`:    "0a9311049c386360",
+		`{"kind":"sim","partitions":0}`: "5683b2fddb75ba97",
+	}
+	for raw, want := range golden {
+		s, err := ParseSpec([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := HashString(s.Hash()); got != want {
+			t.Errorf("%s hashed to %s, want pre-partition golden %s", raw, got, want)
+		}
+	}
+
+	p2, err := ParseSpec([]byte(`{"kind":"sim","gals":true,"partitions":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := ParseSpec([]byte(`{"kind":"sim","gals":true,"partitions":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ParseSpec([]byte(`{"kind":"sim","gals":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Hash() != p8.Hash() {
+		t.Error("shard width forked the content address")
+	}
+	if p2.Hash() == seq.Hash() {
+		t.Error("engaged partition engine must be distinct work from the sequential kernel")
+	}
+	if p8.Partitions != 8 {
+		t.Errorf("normalize clobbered the execution width: %d", p8.Partitions)
+	}
+
+	// Kind-foreign: a lint spec carrying partitions is the same lint.
+	la, err := ParseSpec([]byte(`{"kind":"lint","test":"badcdc"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := ParseSpec([]byte(`{"kind":"lint","test":"badcdc","partitions":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la.Hash() != lb.Hash() {
+		t.Error("partitions leaked into a lint content hash")
+	}
+}
+
 func TestSpecValidation(t *testing.T) {
 	bad := []string{
 		`{"kind":"nope"}`,

@@ -67,6 +67,18 @@ type SyncDecl struct {
 	Depth int
 }
 
+// Coupling records a cross-domain interaction that is not a declared
+// synchronizer: two clocks whose components read or write shared state
+// directly (a bus master addressing another region's memory, a
+// brute-force CDC probe, a testbench peeking across domains). The
+// partition planner treats couplings exactly like syncs when it decides
+// which shards must synchronize, so an undeclared one is the only way to
+// break the partition-parallel engine — declare them.
+type Coupling struct {
+	A, B *Clock
+	Why  string // human-readable provenance, e.g. "axi: rv reads gml.mem"
+}
+
 // Partition labels a component subtree as one clock region; the SoC
 // builder marks each node partition so CDC diagnostics can name the
 // regions a bad crossing joins.
@@ -91,6 +103,7 @@ type Design struct {
 	ports      []*PortDecl
 	channels   []*ChannelDecl
 	syncs      []*SyncDecl
+	couplings  []Coupling
 	partitions []Partition
 	names      map[string]string
 	collisions []Collision
@@ -140,6 +153,19 @@ func (d *Design) AddSync(s SyncDecl) *SyncDecl {
 	d.syncs = append(d.syncs, &ss)
 	return &ss
 }
+
+// AddCoupling records a direct cross-domain interaction between clocks
+// a and b (see Coupling). Same-clock and nil entries are ignored so
+// callers can declare unconditionally.
+func (d *Design) AddCoupling(a, b *Clock, why string) {
+	if a == nil || b == nil || a == b {
+		return
+	}
+	d.couplings = append(d.couplings, Coupling{A: a, B: b, Why: why})
+}
+
+// Couplings returns the declared direct couplings in declaration order.
+func (d *Design) Couplings() []Coupling { return d.couplings }
 
 // MarkPartition labels the component subtree at path as one clock
 // region.

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// This file implements the partition-parallel execution engine: the
+// simulator's clocks are grouped into shards, each driven by its own
+// worker goroutine with a private due-edge scan, and synchronized by a
+// conservative, null-message-free key protocol that reproduces the
+// sequential kernel's exact edge order.
+//
+// # The protocol
+//
+// Every edge has a key packKey(t, ord) = (time << 8) | clock-order — the
+// total order the sequential kernel fires edges in (time, then clock
+// name). Each shard continuously publishes, in one atomic word, the key
+// of its earliest pending edge (MaxUint64 when idle). A shard may
+// execute that edge iff every *coupled* neighbor shard's published key
+// is strictly greater than its own:
+//
+//   - no neighbor can still execute an earlier edge (its key is its
+//     earliest), so every cross-shard effect that precedes ours — FIFO
+//     state, clock pauses, shared-memory writes — has already been
+//     applied, exactly as in the sequential order;
+//   - keys are unique (one clock per ord), so "strictly greater" is
+//     never a tie, and the globally minimal key in any coupled
+//     component can always fire: no deadlock, no null messages, no
+//     lookahead parameter to get wrong.
+//
+// Directly coupled shards therefore interleave in global order and never
+// execute simultaneously; parallelism comes from shards that are not
+// neighbors, which is what cutting a GALS design along its bisync FIFO
+// boundaries maximizes. Correctness never depends on where the cut is —
+// only speed does — provided every cross-shard interaction is declared,
+// which is what Design.AddSync and Design.AddCoupling record.
+//
+// Pause arbitration (the one slow path) and the due-list-freeze immunity
+// rule live in Clock.CrossingPause; trace determinism lives in
+// trace.Lane. Everything else is the loop below.
+
+// Shard is one worker's slice of the design: a set of clocks that only
+// interact with other shards through declared couplings.
+type Shard struct {
+	engine *Engine
+	id     int
+	clocks []*Clock
+
+	// key is the packed key of the shard's earliest pending edge, the
+	// word the whole protocol trades on. It only moves forward, and it
+	// advances past an edge's key only after that edge fully completes,
+	// so a neighbor reading key > k knows every effect of every edge
+	// with key ≤ k is visible.
+	key atomic.Uint64
+
+	neighbors []*Shard
+	lastTime  Time // latest executed edge instant, for Simulator.now
+	ran       bool // whether any edge executed (lastTime 0 is a real time)
+}
+
+// Clocks returns the shard's clocks in scheduling (name) order.
+func (sh *Shard) Clocks() []*Clock { return append([]*Clock(nil), sh.clocks...) }
+
+// Engine drives partition-parallel windows over one simulator. Create it
+// with NewEngine, call Run for each time window (stop conditions are
+// evaluated between windows, deterministically), then Close to merge
+// trace lanes and detach. A one-shard engine runs the identical protocol
+// with no neighbors — the degenerate case tests lean on.
+type Engine struct {
+	sim    *Simulator
+	shards []*Shard
+	closed bool
+}
+
+// NewEngine partitions the simulator's clocks into len(groups) shards
+// and wires the partition protocol. groups must cover every clock of the
+// simulator exactly once; couples lists the clock pairs that interact
+// across shard boundaries (bisync FIFOs, brute-force synchronizers,
+// shared memories — everything Design.Syncs and Design.Couplings
+// record). An undeclared cross-shard interaction is undefined behavior;
+// over-declaring merely serializes two shards.
+//
+// The engine supports at most 256 clocks (the ord field of the packed
+// key); larger designs must merge clocks into coarser groups at build
+// time, which the psim planner does.
+func NewEngine(s *Simulator, groups [][]*Clock, couples [][2]*Clock) (*Engine, error) {
+	if s.engine != nil {
+		return nil, fmt.Errorf("sim: partition engine already attached")
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("sim: no partition groups")
+	}
+	if len(s.clocks) > 256 {
+		return nil, fmt.Errorf("sim: %d clocks exceed the 256-clock partition limit", len(s.clocks))
+	}
+	// Assign each clock its rank in the name-sorted clock list: the
+	// sequential kernel's coincident-edge tie-break, packed into keys.
+	byName := append([]*Clock(nil), s.clocks...)
+	sort.Slice(byName, func(i, j int) bool { return byName[i].name < byName[j].name })
+	for i, c := range byName {
+		c.ord = i
+	}
+
+	e := &Engine{sim: s}
+	seen := make(map[*Clock]int)
+	for gi, g := range groups {
+		sh := &Shard{engine: e, id: gi}
+		for _, c := range g {
+			if c.sim != s {
+				return nil, fmt.Errorf("sim: clock %q belongs to another simulator", c.name)
+			}
+			if prev, dup := seen[c]; dup {
+				return nil, fmt.Errorf("sim: clock %q in partition groups %d and %d", c.name, prev, gi)
+			}
+			seen[c] = gi
+			sh.clocks = append(sh.clocks, c)
+		}
+		sort.Slice(sh.clocks, func(i, j int) bool { return sh.clocks[i].ord < sh.clocks[j].ord })
+		e.shards = append(e.shards, sh)
+	}
+	if len(seen) != len(s.clocks) {
+		for _, c := range s.clocks {
+			if _, ok := seen[c]; !ok {
+				return nil, fmt.Errorf("sim: clock %q not covered by any partition group", c.name)
+			}
+		}
+	}
+
+	// Neighbor sets and per-clock pause arbiters from the coupling list.
+	type pair struct{ a, b int }
+	nb := make(map[pair]bool)
+	for _, cp := range couples {
+		a, aok := seen[cp[0]]
+		b, bok := seen[cp[1]]
+		if !aok || !bok {
+			return nil, fmt.Errorf("sim: coupling references a foreign clock")
+		}
+		if a == b {
+			continue
+		}
+		if !nb[pair{a, b}] {
+			nb[pair{a, b}] = true
+			nb[pair{b, a}] = true
+			e.shards[a].neighbors = append(e.shards[a].neighbors, e.shards[b])
+			e.shards[b].neighbors = append(e.shards[b].neighbors, e.shards[a])
+		}
+		// Either end's shard may pause the other end's clock; arbiters
+		// collect, per clock, every shard that can race such a pause.
+		addArbiter(cp[0], e.shards[b])
+		addArbiter(cp[1], e.shards[a])
+	}
+	for _, sh := range e.shards {
+		sort.Slice(sh.neighbors, func(i, j int) bool { return sh.neighbors[i].id < sh.neighbors[j].id })
+	}
+
+	// Wire shard and (when armed) trace-lane pointers; publish initial
+	// keys so no worker sees a stale zero.
+	tr := s.tracer
+	for _, sh := range e.shards {
+		var lane = tr.NewLane()
+		for _, c := range sh.clocks {
+			c.shard = sh
+			c.lane = lane
+		}
+		sh.key.Store(sh.nextDueKey())
+	}
+	s.engine = e
+	return e, nil
+}
+
+func addArbiter(c *Clock, sh *Shard) {
+	for _, have := range c.arbiters {
+		if have == sh {
+			return
+		}
+	}
+	c.arbiters = append(c.arbiters, sh)
+}
+
+// Shards returns the engine's shards in group order.
+func (e *Engine) Shards() []*Shard { return append([]*Shard(nil), e.shards...) }
+
+// nextDueKey scans the shard's clocks for the earliest pending edge and
+// returns its packed key (MaxUint64 when the shard is idle). dueEdge
+// honours pause immunity, the partitioned form of the sequential
+// kernel's frozen due list.
+func (sh *Shard) nextDueKey() uint64 {
+	best := uint64(1<<64 - 1)
+	for _, c := range sh.clocks {
+		if k := packKey(c.dueEdge(), c.ord); k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// dueClockAt returns the owned clock whose pending edge has key k.
+func (sh *Shard) dueClockAt(k uint64) *Clock {
+	for _, c := range sh.clocks {
+		if packKey(c.dueEdge(), c.ord) == k {
+			return c
+		}
+	}
+	return nil
+}
+
+// Run executes every edge strictly before maxTime, in parallel across
+// shards, and advances Simulator.Now to the last executed instant —
+// exactly what the sequential Run(maxTime) computes. A thread panic
+// aborts the window early; a cooperative Stop does not — the window
+// always completes, because shards run ahead of each other and an
+// immediate stop would truncate each shard at a key that depends on the
+// shard count. Callers check Stopped between windows (psim.RunWindows
+// does), which keeps the stopping point identical for every partitioning.
+func (e *Engine) Run(maxTime Time) {
+	limit := packKey(maxTime, 0)
+	var wg sync.WaitGroup
+	for _, sh := range e.shards {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			sh.run(limit)
+		}(sh)
+	}
+	wg.Wait()
+	for _, sh := range e.shards {
+		if sh.ran && sh.lastTime > e.sim.now {
+			e.sim.now = sh.lastTime
+		}
+	}
+}
+
+// run is one shard's worker loop for one window.
+func (sh *Shard) run(limit uint64) {
+	s := sh.engine.sim
+	for !s.aborted.Load() {
+		k := sh.nextDueKey()
+		sh.key.Store(k)
+		if k >= limit {
+			return
+		}
+		// Conservative gate: every coupled neighbor must be past k.
+		for _, nb := range sh.neighbors {
+			for nb.key.Load() <= k {
+				if s.aborted.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+		}
+		c := sh.dueClockAt(k)
+		if c == nil {
+			// A neighbor paused our clock between the scan and the
+			// gate; rescan. (Pauses only push edges later, so the
+			// republished key still only moves forward.)
+			continue
+		}
+		t := Time(k >> 8)
+		c.runEdgeAt(t)
+		sh.lastTime, sh.ran = t, true
+	}
+}
+
+// arbitratePause blocks until every shard that could issue an
+// earlier-ordered pause on clock c has advanced past the requesting
+// edge's key. Called from Clock.CrossingPause on its slow path — a
+// conflict window is open — so that the pause decision and its
+// observable side effects (pause counters, stall events) are made in
+// exactly the sequential order. The wait cannot deadlock: of two shards
+// arbitrating on the same clock, the one with the smaller key sees the
+// other's larger key and proceeds.
+func (e *Engine) arbitratePause(c *Clock, from *Clock, now Time) {
+	k := packKey(now, from.ord)
+	for _, ar := range c.arbiters {
+		if ar == from.shard {
+			continue
+		}
+		for ar.key.Load() <= k {
+			if e.sim.aborted.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close detaches the engine: it merges the shards' trace lanes into the
+// recorder's deterministic stream and unwires the per-clock partition
+// state so the simulator can resume sequential stepping. The engine
+// cannot be reused after Close.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	s := e.sim
+	if s.tracer != nil {
+		lanes := make([]*trace.Lane, 0, len(e.shards))
+		seenLane := map[*trace.Lane]bool{}
+		for _, sh := range e.shards {
+			for _, c := range sh.clocks {
+				if c.lane != nil && !seenLane[c.lane] {
+					seenLane[c.lane] = true
+					lanes = append(lanes, c.lane)
+				}
+			}
+		}
+		s.tracer.MergeLanes(lanes)
+	}
+	for _, sh := range e.shards {
+		for _, c := range sh.clocks {
+			c.shard, c.lane, c.arbiters = nil, nil, nil
+		}
+	}
+	s.engine = nil
+}

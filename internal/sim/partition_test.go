@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// pdes is a synthetic GALS design shaped like the real SoC's hard cases:
+// a path of clocks with co-prime-ish periods and scattered phases, where
+// every clock reads its left neighbor's state (a direct cross-domain
+// coupling), pauses its right neighbor whenever the neighbor's next edge
+// falls inside a conflict window (the pausible-FIFO handshake, including
+// same-instant pauses — the PR 2 due-list-freeze bug class), runs a
+// coroutine thread, and emits one trace event per commit.
+type pdes struct {
+	s       *Simulator
+	clocks  []*Clock
+	count   []uint64 // own-commit counter per clock
+	sum     []uint64 // checksum of left neighbor's counter (cross-shard read)
+	pauses  []uint64 // pauses issued on the right neighbor
+	tcount  []uint64 // thread wakeups per clock
+	couples [][2]*Clock
+}
+
+func buildPDES(n int, armed bool, window Time) *pdes {
+	s := New()
+	d := &pdes{
+		s:      s,
+		count:  make([]uint64, n),
+		sum:    make([]uint64, n),
+		pauses: make([]uint64, n),
+		tcount: make([]uint64, n),
+	}
+	if armed {
+		s.Arm(trace.NewRecorder())
+	}
+	subs := make([]*trace.Subject, n)
+	for i := 0; i < n; i++ {
+		period := Time(90 + 7*(i%5))
+		phase := Time((i * 37) % 90)
+		c := s.AddClock(fmt.Sprintf("c%02d", i), period, phase)
+		d.clocks = append(d.clocks, c)
+		subs[i] = s.Tracer().Subject(fmt.Sprintf("n[%d]", i))
+	}
+	for i := 0; i < n; i++ {
+		i, c := i, d.clocks[i]
+		c.AtCommit(func() {
+			d.count[i]++
+			if i > 0 {
+				d.sum[i] += d.count[i-1]
+			}
+			if i+1 < n {
+				nb := d.clocks[i+1]
+				if nb.CrossingPause(c, c.Now(), c.Now()+window) {
+					d.pauses[i]++
+				}
+			}
+			if subs[i] != nil {
+				subs[i].EmitOn(c.Lane(), trace.KindOcc, uint64(c.Now()), c.Cycle(), d.count[i])
+			}
+		})
+		c.Spawn(fmt.Sprintf("t%d", i), func(th *Thread) {
+			for {
+				th.Wait()
+				d.tcount[i]++
+				if d.tcount[i]%5 == 0 {
+					th.WaitN(3)
+				}
+			}
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		d.couples = append(d.couples, [2]*Clock{d.clocks[i], d.clocks[i+1]})
+	}
+	return d
+}
+
+// chunk splits the clocks into k contiguous groups.
+func (d *pdes) chunk(k int) [][]*Clock {
+	n := len(d.clocks)
+	per := (n + k - 1) / k
+	var groups [][]*Clock
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		groups = append(groups, d.clocks[lo:hi:hi])
+	}
+	return groups
+}
+
+type pdesState struct {
+	now        Time
+	totalEdges uint64
+	cycles     []uint64
+	count      []uint64
+	sum        []uint64
+	pauses     []uint64
+	tcount     []uint64
+}
+
+func (d *pdes) state() pdesState {
+	st := pdesState{
+		now:        d.s.Now(),
+		totalEdges: d.s.TotalEdges(),
+		count:      d.count,
+		sum:        d.sum,
+		pauses:     d.pauses,
+		tcount:     d.tcount,
+	}
+	for _, c := range d.clocks {
+		st.cycles = append(st.cycles, c.Cycle())
+	}
+	return st
+}
+
+// TestPartitionedBitIdentical is the tentpole invariant at engine level:
+// for every shard count, a partitioned Run(maxTime) leaves exactly the
+// state — and exactly the trace event stream — of the sequential kernel.
+func TestPartitionedBitIdentical(t *testing.T) {
+	const n, window, horizon = 6, 13, 50_000
+	ref := buildPDES(n, true, window)
+	ref.s.Run(horizon)
+	want := ref.state()
+	wantEvents := ref.s.Tracer().Events()
+	if want.totalEdges == 0 || sumOf(want.pauses) == 0 {
+		t.Fatalf("reference run exercised nothing: %+v", want)
+	}
+
+	for _, shards := range []int{1, 2, 3, 6} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			d := buildPDES(n, true, window)
+			e, err := NewEngine(d.s, d.chunk(shards), d.couples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run(horizon)
+			e.Close()
+			if got := d.state(); !reflect.DeepEqual(got, want) {
+				t.Errorf("state diverged from sequential:\ngot  %+v\nwant %+v", got, want)
+			}
+			got := d.s.Tracer().Events()
+			if !reflect.DeepEqual(got, wantEvents) {
+				t.Errorf("trace diverged: %d events vs %d", len(got), len(wantEvents))
+				for i := range got {
+					if i < len(wantEvents) && got[i] != wantEvents[i] {
+						t.Fatalf("first divergence at event %d: got %+v want %+v", i, got[i], wantEvents[i])
+					}
+				}
+			}
+			if !reflect.DeepEqual(d.s.Tracer().Paths(), ref.s.Tracer().Paths()) {
+				t.Errorf("subject paths diverged")
+			}
+		})
+	}
+}
+
+// TestPartitionedWindowsResumable checks that successive engine windows
+// compose: running [0,h/4), [h/4, h/2), ... equals one sequential run to
+// h — the property the epoch-quantized stop protocol is built on.
+func TestPartitionedWindowsResumable(t *testing.T) {
+	const n, window, horizon = 5, 21, 40_000
+	ref := buildPDES(n, false, window)
+	ref.s.Run(horizon)
+	want := ref.state()
+
+	d := buildPDES(n, false, window)
+	e, err := NewEngine(d.s, d.chunk(2), d.couples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Time{horizon / 4, horizon / 2, 3 * horizon / 4, horizon} {
+		e.Run(h)
+	}
+	e.Close()
+	if got := d.state(); !reflect.DeepEqual(got, want) {
+		t.Errorf("windowed run diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPartitionedPanicDeterministic: a thread panic inside a shard stops
+// every worker and surfaces the same error the sequential kernel reports.
+func TestPartitionedPanicDeterministic(t *testing.T) {
+	buildT := func() *pdes {
+		d := buildPDES(4, false, 13)
+		d.clocks[2].Spawn("fault", func(th *Thread) {
+			th.WaitN(7)
+			panic("injected fault")
+		})
+		return d
+	}
+	seq := buildT()
+	seq.s.Run(20_000)
+	wantErr := seq.s.Err()
+	if wantErr == nil {
+		t.Fatal("sequential run did not surface the injected panic")
+	}
+
+	par := buildT()
+	e, err := NewEngine(par.s, par.chunk(2), par.couples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(20_000)
+	e.Close()
+	if got := par.s.Err(); got == nil || got.Error() != wantErr.Error() {
+		t.Errorf("partitioned error = %v, want %v", got, wantErr)
+	}
+}
+
+// TestNewEngineValidation covers the planner-facing error surface.
+func TestNewEngineValidation(t *testing.T) {
+	d := buildPDES(3, false, 13)
+	if _, err := NewEngine(d.s, [][]*Clock{{d.clocks[0], d.clocks[1]}}, nil); err == nil {
+		t.Error("missing clock not rejected")
+	}
+	if _, err := NewEngine(d.s, [][]*Clock{{d.clocks[0], d.clocks[1]}, {d.clocks[1], d.clocks[2]}}, nil); err == nil {
+		t.Error("duplicate clock not rejected")
+	}
+	other := New()
+	oc := other.AddClock("x", 10, 0)
+	if _, err := NewEngine(d.s, [][]*Clock{{d.clocks[0], d.clocks[1], d.clocks[2], oc}}, nil); err == nil {
+		t.Error("foreign clock not rejected")
+	}
+	e, err := NewEngine(d.s, d.chunk(1), d.couples)
+	if err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if _, err := NewEngine(d.s, d.chunk(1), d.couples); err == nil {
+		t.Error("double attach not rejected")
+	}
+	e.Close()
+}
+
+// TestPackKey pins the key order: time-major, clock-order tie-break, and
+// saturation at the top of the range so Infinity stays the maximum.
+func TestPackKey(t *testing.T) {
+	if packKey(5, 3) >= packKey(6, 0) {
+		t.Error("time must dominate ord")
+	}
+	if packKey(5, 1) >= packKey(5, 2) {
+		t.Error("ord must tie-break equal times")
+	}
+	if packKey(Infinity, 0) != 1<<64-1 {
+		t.Error("Infinity must saturate")
+	}
+}
+
+func sumOf(v []uint64) uint64 {
+	var t uint64
+	for _, x := range v {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,52 @@
+package soc
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPartitionPerfGate is the CI throughput gate for the partition
+// engine: four shards must not be slower than the sequential kernel on
+// the GALS memcpy system test — the workload the mesh cut was designed
+// for. It is opt-in (PARTITION_PERF_GATE=1) because wall-clock
+// comparisons have no place in the default `go test` tier, and it skips
+// on hosts without enough cores to run four shards in parallel.
+func TestPartitionPerfGate(t *testing.T) {
+	if os.Getenv("PARTITION_PERF_GATE") == "" {
+		t.Skip("set PARTITION_PERF_GATE=1 to run the throughput gate")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful gate, have %d", runtime.NumCPU())
+	}
+
+	run := func(partitions int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			cfg := DefaultConfig()
+			cfg.GALS = true
+			cfg.Partitions = partitions
+			s, verify := Tests()[0].Build(cfg)
+			start := time.Now()
+			if _, err := s.Run(5_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			if err := verify(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return best
+	}
+
+	seq := run(0)
+	par := run(4)
+	t.Logf("memcpy GALS: sequential %v, 4 shards %v (%.2fx)",
+		seq, par, float64(seq)/float64(par))
+	if par > seq {
+		t.Errorf("partition engine regression: 4 shards took %v, sequential %v", par, seq)
+	}
+}

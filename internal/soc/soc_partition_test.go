@@ -1,0 +1,69 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// runPartitioned builds the memcpy system test on the GALS testchip
+// configuration, runs it with the given shard count, and returns the
+// full metrics snapshot — the same bytes socsim -statsjson writes.
+func runPartitioned(t *testing.T, partitions int, trace bool) ([]byte, *SoC) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.GALS = true
+	cfg.Partitions = partitions
+	cfg.Trace = trace
+	s, verify := buildMemcpy(cfg)
+	if _, err := s.Run(maxCycles); err != nil {
+		t.Fatalf("partitions=%d: %v", partitions, err)
+	}
+	if err := verify(s); err != nil {
+		t.Fatalf("partitions=%d: %v", partitions, err)
+	}
+	var buf bytes.Buffer
+	if err := s.Sim.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), s
+}
+
+// TestPartitionedSoCStatsByteIdentical is the acceptance criterion at
+// chip level: the full 20-clock GALS SoC produces a byte-identical
+// metrics snapshot for every shard count, pauses included.
+func TestPartitionedSoCStatsByteIdentical(t *testing.T) {
+	want, ref := runPartitioned(t, 1, false)
+	if ref.Pauses() == 0 {
+		t.Fatal("GALS run recorded no pauses; the CDC FIFOs are not being exercised")
+	}
+	for _, n := range []int{2, 4, 8} {
+		got, s := runPartitioned(t, n, false)
+		if !bytes.Equal(got, want) {
+			t.Errorf("partitions=%d stats diverged from partitions=1 (%d vs %d bytes)", n, len(got), len(want))
+		}
+		if s.Pauses() != ref.Pauses() {
+			t.Errorf("partitions=%d pauses = %d, want %d", n, s.Pauses(), ref.Pauses())
+		}
+	}
+}
+
+// TestPartitionedSoCTraceDeterministic runs the armed variant: the
+// merged per-shard trace lanes must reproduce the single-shard event
+// stream exactly, event for event.
+func TestPartitionedSoCTraceDeterministic(t *testing.T) {
+	_, ref := runPartitioned(t, 1, true)
+	want := ref.Tracer().Events()
+	if len(want) == 0 {
+		t.Fatal("armed run recorded no events")
+	}
+	_, s := runPartitioned(t, 4, true)
+	got := s.Tracer().Events()
+	if len(got) != len(want) {
+		t.Fatalf("event count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import "sort"
+
+// Lane is a per-shard event stream for partition-parallel simulation.
+// Each shard of a partitioned run appends to its own lane with no
+// synchronization; the kernel brackets every clock edge it executes with
+// BeginEdge, which stamps the segment with the edge's global scheduling
+// key — (time << 8) | clock-order — the exact total order the sequential
+// kernel fires edges in. MergeLanes then interleaves the segments by key,
+// reconstructing the event stream a sequential run of the same design
+// would have recorded, byte for byte.
+type Lane struct {
+	r      *Recorder
+	events []Event
+	marks  []laneMark
+}
+
+// laneMark opens one edge segment: events[start:] up to the next mark
+// belong to the edge with the given global scheduling key. Keys within a
+// lane are strictly increasing, because a shard executes its edges in
+// global order restricted to its own clocks.
+type laneMark struct {
+	start int
+	key   uint64
+}
+
+// NewLane returns a fresh lane feeding this recorder. Lanes created from
+// a nil recorder are nil, mirroring Subject.
+func (r *Recorder) NewLane() *Lane {
+	if r == nil {
+		return nil
+	}
+	return &Lane{r: r}
+}
+
+// BeginEdge opens a new segment for the edge at the given time whose
+// clock has the given name-order index. Called by the simulation kernel
+// once per executed edge, before any hook of that edge can emit.
+func (l *Lane) BeginEdge(time uint64, ord uint32) {
+	l.marks = append(l.marks, laneMark{start: len(l.events), key: laneKey(time, ord)})
+}
+
+// laneKey mirrors the kernel's edge-ordering key: (time, clock order)
+// packed into one comparable word. Ord must fit in 8 bits, which the
+// kernel's partition planner enforces (≤ 256 clocks).
+func laneKey(time uint64, ord uint32) uint64 {
+	return time<<8 | uint64(ord)&0xff
+}
+
+// EmitOn appends one event to lane l, or to the recorder's default
+// stream when l is nil — the form every emission site uses so the same
+// component code serves sequential and partitioned runs:
+//
+//	if c.sub != nil {
+//		c.sub.EmitOn(c.clk.Lane(), trace.KindPush, now, cycle, occ)
+//	}
+//
+// Lanes are capped at the recorder's limit; MergeLanes accounts lane
+// overflow into the recorder's dropped count, so the merged stream and
+// drop total match a sequential run's exactly. (A merged prefix of
+// length ≤ limit can draw at most limit events from any one lane, so a
+// per-lane cap at the global limit never drops an event the sequential
+// run would have kept.)
+func (s *Subject) EmitOn(l *Lane, k Kind, time, cycle, value uint64) {
+	if l == nil {
+		s.Emit(k, time, cycle, value)
+		return
+	}
+	if limit := s.r.limit; limit > 0 && len(l.events) >= limit {
+		return // counted by MergeLanes
+	}
+	l.events = append(l.events, Event{Subject: s.id, Kind: k, Time: time, Cycle: cycle, Value: value})
+}
+
+// MergeLanes appends the lanes' edge segments to the recorder's event
+// stream in global scheduling-key order and retires the lanes. Segment
+// keys are unique across lanes (one edge belongs to one clock, one clock
+// to one shard), so the interleaving is total and deterministic: the
+// result is the event order of the equivalent sequential run. Events
+// beyond the recorder's limit are dropped and counted, again matching
+// the sequential run's accounting.
+func (r *Recorder) MergeLanes(lanes []*Lane) {
+	type seg struct {
+		lane       *Lane
+		key        uint64
+		start, end int
+	}
+	var segs []seg
+	var total int
+	for _, l := range lanes {
+		if l == nil {
+			continue
+		}
+		total += len(l.events)
+		for i, m := range l.marks {
+			end := len(l.events)
+			if i+1 < len(l.marks) {
+				end = l.marks[i+1].start
+			}
+			if m.start == end {
+				continue
+			}
+			segs = append(segs, seg{lane: l, key: m.key, start: m.start, end: end})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].key < segs[j].key })
+	kept := 0
+	for _, sg := range segs {
+		for _, e := range sg.lane.events[sg.start:sg.end] {
+			if r.limit > 0 && len(r.events) >= r.limit {
+				break
+			}
+			r.events = append(r.events, e)
+			kept++
+		}
+	}
+	r.dropped += uint64(total - kept)
+	for _, l := range lanes {
+		if l != nil {
+			l.events, l.marks = nil, nil
+		}
+	}
+}
