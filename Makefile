@@ -12,12 +12,14 @@ test: build
 # (including the determinism vet), then race-test the packages whose
 # concurrency the kernel refactor touches (plus the campaign runner's
 # worker pool and the tracing layer), run the full SoC suite with channel
-# tracing armed, and enforce the disarmed tracing overhead budget
-# (<= 2% over the untraced primitives).
+# tracing armed, enforce the disarmed tracing overhead budget (<= 2%
+# over the untraced primitives), and hold the compiled RTL backend's
+# throughput floor over the interpreter.
 check: vet
 	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
+	RTL_PERF_GATE=1 $(GO) test -count=1 -run TestRTLPerfGate -v .
 	$(MAKE) serve-smoke
 
 # End-to-end smoke of the socd daemon: boot on an ephemeral port, submit

@@ -1,7 +1,7 @@
 // Command detvet is the repo's determinism vet: a syntactic analyzer
 // over the simulation-kernel packages whose results must be bit-identical
 // across runs and machines (internal/sim, internal/connections,
-// internal/gals, internal/noc, internal/psim). It flags the three ways
+// internal/gals, internal/noc, internal/psim, internal/rtl). It flags the three ways
 // nondeterminism usually leaks into a Go simulator:
 //
 //   - importing "time" (wall-clock reads in simulated-time code),
@@ -31,13 +31,17 @@ import (
 )
 
 // checkedDirs are the packages under the determinism contract: the
-// kernel and everything that executes inside its event loop.
+// kernel and everything that executes inside its event loop, plus the
+// gate-level evaluator whose VCD bytes and port ordering must be
+// identical run to run (its map-range port iteration once made VCD
+// declaration order random per process).
 var checkedDirs = []string{
 	"internal/sim",
 	"internal/connections",
 	"internal/gals",
 	"internal/noc",
 	"internal/psim",
+	"internal/rtl",
 }
 
 // randAllowed are the math/rand selectors that construct or name seeded

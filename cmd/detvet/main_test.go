@@ -83,6 +83,17 @@ func b(out []int) {
 	}
 }
 
+func TestRTLUnderDeterminismContract(t *testing.T) {
+	// The gate-level evaluator's VCD byte stream must be identical run
+	// to run; keep it inside the no-map-range contract.
+	for _, d := range checkedDirs {
+		if d == "internal/rtl" {
+			return
+		}
+	}
+	t.Fatal("internal/rtl missing from checkedDirs")
+}
+
 func TestWaiverComment(t *testing.T) {
 	fs := runOn(t, `package x
 func f() {

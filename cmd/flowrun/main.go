@@ -152,7 +152,11 @@ func main() {
 			os.Exit(1)
 		}
 		v := trace.NewVCD(f)
-		sim := rtl.NewSimulator(rep.Netlist)
+		sim, err := rtl.NewSimulator(rep.Netlist)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowrun:", err)
+			os.Exit(1)
+		}
 		sim.AttachVCD(v)
 		r := rand.New(rand.NewSource(2))
 		d := build()

@@ -68,8 +68,21 @@ func (f *Flow) Run(d *hls.Design, vectors int, seed int64) (Report, error) {
 		Netlist: nl,
 	}
 
-	// RTL cosimulation doubles as verification and activity capture.
-	sim := rtl.NewSimulator(nl)
+	// RTL cosimulation doubles as verification and activity capture. It
+	// runs on the simulator's word-slice fast path (compiled backend
+	// when the netlist allows it), keeping the per-vector loop free of
+	// per-cycle map allocations.
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		return rep, fmt.Errorf("core: %s: %w", d.Name, err)
+	}
+	inPorts := sim.InputPorts()
+	outIdx := map[string]int{}
+	for i, p := range sim.OutputPorts() {
+		outIdx[p.Name] = i
+	}
+	inw := make([]uint64, len(inPorts))
+	outw := make([]uint64, len(sim.OutputPorts()))
 	r := rand.New(rand.NewSource(seed))
 	var history []map[string]uint64
 	for k := 0; k < vectors+sched.Latency; k++ {
@@ -78,15 +91,22 @@ func (f *Flow) Run(d *hls.Design, vectors int, seed int64) (Report, error) {
 			in[p.Name] = r.Uint64() & widthMask(p.Width)
 		}
 		history = append(history, in)
-		got := sim.Step(in)
+		for i := range inPorts {
+			inw[i] = in[inPorts[i].Name]
+		}
+		sim.StepWords(inw, outw)
 		if k < sched.Latency {
 			continue
 		}
 		want := d.Interpret(history[k-sched.Latency])
 		for name, w := range want {
-			if got[name] != w {
+			var got uint64
+			if gi, ok := outIdx[name]; ok {
+				got = outw[gi]
+			}
+			if got != w {
 				return rep, fmt.Errorf("core: %s: netlist/golden mismatch on vector %d output %s: %#x vs %#x",
-					d.Name, k, name, got[name], w)
+					d.Name, k, name, got, w)
 			}
 		}
 		rep.VectorsChecked++

@@ -12,7 +12,10 @@ import (
 func TestFromSimulation(t *testing.T) {
 	d := hls.Optimize(hls.AdderTreeDesign(8, 16))
 	nl := synth.Optimize(synth.Map(hls.Pipeline(d, hls.DefaultConstraints())))
-	sim := rtl.NewSimulator(nl)
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := rand.New(rand.NewSource(1))
 	for k := 0; k < 100; k++ {
 		in := map[string]uint64{}
@@ -30,7 +33,10 @@ func TestFromSimulation(t *testing.T) {
 	}
 
 	// Idle stimulus must burn less dynamic power than random stimulus.
-	idleSim := rtl.NewSimulator(nl)
+	idleSim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for k := 0; k < 100; k++ {
 		idleSim.Step(map[string]uint64{})
 	}
@@ -45,7 +51,10 @@ func TestVoltageScaling(t *testing.T) {
 	low.VDD = 0.6
 	d := hls.Optimize(hls.MACDesign(8))
 	nl := synth.Optimize(synth.Map(hls.Pipeline(d, hls.DefaultConstraints())))
-	sim := rtl.NewSimulator(nl)
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := rand.New(rand.NewSource(2))
 	for k := 0; k < 50; k++ {
 		sim.Step(map[string]uint64{"a": r.Uint64(), "b": r.Uint64(), "acc": r.Uint64()})

@@ -103,79 +103,332 @@ func (n *Netlist) AddCell(kind CellKind, in ...Net) Net {
 // CellCount returns combinational cell and flop counts.
 func (n *Netlist) CellCount() (comb, flops int) { return len(n.Cells), len(n.DFFs) }
 
-// Levelize returns the combinational cells in topological order: a cell
-// appears after every cell driving one of its inputs. DFF outputs, tie
-// cells and input ports are sources. It panics on a combinational loop.
-func (n *Netlist) Levelize() []Cell {
+// LoopError reports a combinational cycle as the path of cells it runs
+// through, each rendered as KIND#index(n<out>); the first entry repeats
+// at the end to close the cycle.
+type LoopError struct {
+	Module string
+	Path   []string
+}
+
+func (e *LoopError) Error() string {
+	return fmt.Sprintf("rtl: combinational loop in %s: %s", e.Module, strings.Join(e.Path, " -> "))
+}
+
+func (n *Netlist) cellDesc(i int) string {
+	c := n.Cells[i]
+	return fmt.Sprintf("%v#%d(n%d)", c.Kind, i, c.Out)
+}
+
+// levelizeIndices returns the indices of n.Cells in topological order
+// (every driver before its loads) using an iterative depth-first
+// worklist, so arbitrarily deep netlists cannot overflow the goroutine
+// stack the way the former recursive walk could.
+func (n *Netlist) levelizeIndices() ([]int, *LoopError) {
 	driver := make(map[Net]int, len(n.Cells)) // net -> cell index
 	for i, c := range n.Cells {
 		driver[c.Out] = i
 	}
-	order := make([]Cell, 0, len(n.Cells))
+	order := make([]int, 0, len(n.Cells))
 	state := make([]int8, len(n.Cells)) // 0 unvisited, 1 visiting, 2 done
-	var visit func(i int)
-	visit = func(i int) {
-		switch state[i] {
-		case 1:
-			panic(fmt.Sprintf("rtl: combinational loop through cell %d in %s", i, n.Name))
-		case 2:
-			return
+	type frame struct {
+		cell int
+		next int // next input index to explore
+	}
+	var stack []frame
+	for root := range n.Cells {
+		if state[root] != 0 {
+			continue
 		}
-		state[i] = 1
-		for _, in := range n.Cells[i].In {
-			if j, ok := driver[in]; ok {
-				visit(j)
+		state[root] = 1
+		stack = append(stack[:0], frame{cell: root})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(n.Cells[f.cell].In) {
+				in := n.Cells[f.cell].In[f.next]
+				f.next++
+				j, ok := driver[in]
+				if !ok {
+					continue // source: input port, DFF output, or floating net
+				}
+				switch state[j] {
+				case 0:
+					state[j] = 1
+					stack = append(stack, frame{cell: j})
+				case 1:
+					// j is on the stack: the cycle runs from its frame to
+					// the top and back.
+					start := 0
+					for k := range stack {
+						if stack[k].cell == j {
+							start = k
+							break
+						}
+					}
+					path := make([]string, 0, len(stack)-start+1)
+					for _, fr := range stack[start:] {
+						path = append(path, n.cellDesc(fr.cell))
+					}
+					path = append(path, n.cellDesc(j))
+					return nil, &LoopError{Module: n.Name, Path: path}
+				}
+			} else {
+				state[f.cell] = 2
+				order = append(order, f.cell)
+				stack = stack[:len(stack)-1]
 			}
 		}
-		state[i] = 2
-		order = append(order, n.Cells[i])
 	}
-	for i := range n.Cells {
-		visit(i)
+	return order, nil
+}
+
+// LevelizeChecked returns the combinational cells in topological order:
+// a cell appears after every cell driving one of its inputs. DFF
+// outputs, tie cells and input ports are sources. A combinational loop
+// is reported as a *LoopError naming the cycle path.
+func (n *Netlist) LevelizeChecked() ([]Cell, error) {
+	idx, lerr := n.levelizeIndices()
+	if lerr != nil {
+		return nil, lerr
+	}
+	order := make([]Cell, len(idx))
+	for i, j := range idx {
+		order[i] = n.Cells[j]
+	}
+	return order, nil
+}
+
+// Levelize is LevelizeChecked for call sites that treat a loop as a
+// programming error: it panics with the *LoopError.
+func (n *Netlist) Levelize() []Cell {
+	order, err := n.LevelizeChecked()
+	if err != nil {
+		panic(err)
 	}
 	return order
 }
 
-// Simulator evaluates a netlist cycle by cycle.
-type Simulator struct {
-	n       *Netlist
-	order   []Cell
-	vals    []bool
-	inNets  map[string][]Net // port name -> bit nets
-	outNets map[string][]Net
+// Port describes one named port of a simulated netlist: Bits[i] is the
+// net behind bit i. Ports returned by the Simulator are sorted by name,
+// the order of the StepWords word slices and of VCD declarations.
+type Port struct {
+	Name string
+	Bits []Net
+}
 
-	// Toggles counts output-net transitions per cycle, the switching
+// PortCoverageError reports a port whose bit vector cannot be simulated:
+// a bit with no net, two PortBits claiming the same bit, a net outside
+// the netlist, or a port wider than the 64-bit word the simulator packs
+// it into.
+type PortCoverageError struct {
+	Module string
+	Dir    string // "input" or "output"
+	Port   string
+	Bit    int
+	Width  int
+	Reason string
+}
+
+func (e *PortCoverageError) Error() string {
+	return fmt.Sprintf("rtl: %s: %s port %s[%d] of width %d: %s",
+		e.Module, e.Dir, e.Port, e.Bit, e.Width, e.Reason)
+}
+
+// collectPorts groups PortBits into name-sorted Ports, validating full
+// bit coverage so a sparse port surfaces as an error at construction
+// instead of a negative-index panic mid-Step.
+func collectPorts(n *Netlist, ports []PortBit, dir string) ([]Port, error) {
+	var names []string
+	width := map[string]int{}
+	for _, p := range ports {
+		if _, ok := width[p.Name]; !ok {
+			names = append(names, p.Name)
+		}
+		if p.Bit+1 > width[p.Name] {
+			width[p.Name] = p.Bit + 1
+		}
+	}
+	sort.Strings(names)
+	out := make([]Port, 0, len(names))
+	for _, name := range names {
+		w := width[name]
+		perr := func(bit int, reason string) error {
+			return &PortCoverageError{Module: n.Name, Dir: dir, Port: name, Bit: bit, Width: w, Reason: reason}
+		}
+		if w > 64 {
+			return nil, perr(w-1, "wider than the 64-bit simulator word")
+		}
+		bits := make([]Net, w)
+		for i := range bits {
+			bits[i] = -1
+		}
+		for _, p := range ports {
+			if p.Name != name {
+				continue
+			}
+			if p.Bit < 0 {
+				return nil, perr(p.Bit, "negative bit index")
+			}
+			if bits[p.Bit] != -1 {
+				return nil, perr(p.Bit, "bit bound to two nets")
+			}
+			if p.Net < 0 || int(p.Net) >= n.NumNets {
+				return nil, perr(p.Bit, fmt.Sprintf("net n%d outside the netlist", p.Net))
+			}
+			bits[p.Bit] = p.Net
+		}
+		for i, net := range bits {
+			if net == -1 {
+				return nil, perr(i, "bit has no net (sparse port)")
+			}
+		}
+		out = append(out, Port{Name: name, Bits: bits})
+	}
+	return out, nil
+}
+
+// validateCells rejects netlists the evaluators cannot execute safely:
+// out-of-range nets, wrong arity, or register cells filed on the wrong
+// bank.
+func validateCells(n *Netlist) error {
+	check := func(c Cell, i int, bank string) error {
+		if c.Kind < 0 || c.Kind >= numCellKinds {
+			return fmt.Errorf("rtl: %s: %s cell %d has unknown kind %d", n.Name, bank, i, int(c.Kind))
+		}
+		if len(c.In) != c.Kind.NumInputs() {
+			return fmt.Errorf("rtl: %s: %s cell %d (%v) has %d inputs, want %d",
+				n.Name, bank, i, c.Kind, len(c.In), c.Kind.NumInputs())
+		}
+		nets := append([]Net{c.Out}, c.In...)
+		for _, net := range nets {
+			if net < 0 || int(net) >= n.NumNets {
+				return fmt.Errorf("rtl: %s: %s cell %d (%v) references net n%d outside the netlist",
+					n.Name, bank, i, c.Kind, net)
+			}
+		}
+		return nil
+	}
+	for i, c := range n.Cells {
+		if c.Kind == DFF {
+			return fmt.Errorf("rtl: %s: cell %d is a DFF outside the register bank", n.Name, i)
+		}
+		if err := check(c, i, "comb"); err != nil {
+			return err
+		}
+	}
+	for i, c := range n.DFFs {
+		if c.Kind != DFF {
+			return fmt.Errorf("rtl: %s: register bank cell %d is a %v, not a DFF", n.Name, i, c.Kind)
+		}
+		if err := check(c, i, "dff"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Backend selects the evaluation engine behind a Simulator.
+type Backend int
+
+const (
+	// BackendAuto compiles the netlist when its shape allows it and
+	// falls back to the interpreter otherwise — the default.
+	BackendAuto Backend = iota
+	// BackendInterp forces the reference cell-by-cell interpreter.
+	BackendInterp
+	// BackendCompiled forces the compiled word-level program; netlists
+	// the compiler cannot handle return its error.
+	BackendCompiled
+)
+
+// Simulator evaluates a netlist cycle by cycle. Two backends share one
+// contract: the compiled word-level program (see compile.go) when the
+// netlist shape allows it, and the reference interpreter otherwise.
+// Outputs, Toggles, Cycles and VCD bytes are bit-identical between them.
+type Simulator struct {
+	n        *Netlist
+	inPorts  []Port // sorted by name
+	outPorts []Port
+
+	// Interpreter backend state.
+	order []Cell
+	vals  []bool
+	next  []bool // DFF capture scratch
+
+	// Compiled backend; nil when interpreting.
+	prog *program
+
+	// Toggles counts driven-net transitions per cycle, the switching
 	// activity consumed by the power model.
 	Toggles uint64
 	Cycles  uint64
 
-	vcd     *trace.VCD
-	vcdSigs map[string]*trace.Signal
+	inBuf, outBuf []uint64 // scratch for the map-based Step
+
+	vcd    *trace.VCD
+	vcdIn  []*trace.Signal // parallel to inPorts
+	vcdOut []*trace.Signal // parallel to outPorts
 }
 
-// NewSimulator levelizes and prepares the netlist.
-func NewSimulator(n *Netlist) *Simulator {
-	s := &Simulator{
-		n:       n,
-		order:   n.Levelize(),
-		vals:    make([]bool, n.NumNets),
-		inNets:  map[string][]Net{},
-		outNets: map[string][]Net{},
-	}
-	collect := func(ports []PortBit, into map[string][]Net) {
-		for _, p := range ports {
-			bits := into[p.Name]
-			for len(bits) <= p.Bit {
-				bits = append(bits, -1)
-			}
-			bits[p.Bit] = p.Net
-			into[p.Name] = bits
-		}
-	}
-	collect(n.Inputs, s.inNets)
-	collect(n.Outputs, s.outNets)
-	return s
+// NewSimulator levelizes, validates and prepares the netlist, selecting
+// the compiled backend automatically when the netlist supports it. It
+// returns a *PortCoverageError for sparse or malformed ports and a
+// *LoopError for combinational cycles.
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	return NewSimulatorBackend(n, BackendAuto)
 }
+
+// NewSimulatorBackend is NewSimulator with an explicit backend choice,
+// the hook the differential tests and benchmarks use.
+func NewSimulatorBackend(n *Netlist, b Backend) (*Simulator, error) {
+	if err := validateCells(n); err != nil {
+		return nil, err
+	}
+	inPorts, err := collectPorts(n, n.Inputs, "input")
+	if err != nil {
+		return nil, err
+	}
+	outPorts, err := collectPorts(n, n.Outputs, "output")
+	if err != nil {
+		return nil, err
+	}
+	order, err := n.LevelizeChecked()
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		n:        n,
+		inPorts:  inPorts,
+		outPorts: outPorts,
+		order:    order,
+		vals:     make([]bool, n.NumNets),
+		next:     make([]bool, len(n.DFFs)),
+		inBuf:    make([]uint64, len(inPorts)),
+		outBuf:   make([]uint64, len(outPorts)),
+	}
+	if b != BackendInterp {
+		prog, cerr := compile(n, order, inPorts, outPorts)
+		if cerr != nil && b == BackendCompiled {
+			return nil, cerr
+		}
+		s.prog = prog // nil on fallback
+	}
+	return s, nil
+}
+
+// Backend reports the selected engine: "compiled" or "interp".
+func (s *Simulator) Backend() string {
+	if s.prog != nil {
+		return "compiled"
+	}
+	return "interp"
+}
+
+// InputPorts returns the input ports in StepWords order (sorted by name).
+func (s *Simulator) InputPorts() []Port { return s.inPorts }
+
+// OutputPorts returns the output ports in StepWords order (sorted by name).
+func (s *Simulator) OutputPorts() []Port { return s.outPorts }
 
 func (s *Simulator) eval(c Cell) bool {
 	v := s.vals
@@ -211,25 +464,67 @@ func (s *Simulator) eval(c Cell) bool {
 }
 
 // AttachVCD declares the netlist's ports on v and samples them after
-// every Step, using the cycle count as the timestamp. Call before the
+// every Step. Declaration order is the sorted port order (inputs first,
+// then outputs), so VCD bytes are identical run to run. Call before the
 // first Step.
 func (s *Simulator) AttachVCD(v *trace.VCD) {
 	s.vcd = v
-	s.vcdSigs = map[string]*trace.Signal{}
-	for name, bits := range s.inNets {
-		s.vcdSigs[name] = v.Declare(name, len(bits))
+	s.vcdIn = s.vcdIn[:0]
+	s.vcdOut = s.vcdOut[:0]
+	for _, p := range s.inPorts {
+		s.vcdIn = append(s.vcdIn, v.Declare(p.Name, len(p.Bits)))
 	}
-	for name, bits := range s.outNets {
-		s.vcdSigs["out."+name] = v.Declare(name+"_o", len(bits))
+	for _, p := range s.outPorts {
+		s.vcdOut = append(s.vcdOut, v.Declare(p.Name+"_o", len(p.Bits)))
 	}
 }
 
-// Step applies the input words, settles combinational logic, captures the
-// outputs, and clocks the flops — one cycle.
+// StepWords is the allocation-free hot path: one cycle with ports passed
+// as word slices in InputPorts/OutputPorts order. out may be nil when
+// the caller only wants state advanced (activity counting); otherwise it
+// must have len(OutputPorts()) and is filled with the settled outputs.
+func (s *Simulator) StepWords(in, out []uint64) {
+	if out == nil {
+		out = s.outBuf
+	}
+	if s.prog != nil {
+		s.Toggles += s.prog.step(in, out)
+	} else {
+		s.interpStep(in, out)
+	}
+	if s.vcd != nil {
+		for i := range s.vcdIn {
+			s.vcdIn[i].Set(in[i])
+		}
+		for i := range s.vcdOut {
+			s.vcdOut[i].Set(out[i])
+		}
+		s.vcd.Sample(s.Cycles)
+	}
+	s.Cycles++
+}
+
+// Step applies the input words by port name, settles combinational
+// logic, captures the outputs, and clocks the flops — one cycle. Ports
+// absent from inputs read as zero.
 func (s *Simulator) Step(inputs map[string]uint64) map[string]uint64 {
-	for name, bits := range s.inNets {
-		w := inputs[name]
-		for i, net := range bits {
+	for i := range s.inPorts {
+		s.inBuf[i] = inputs[s.inPorts[i].Name]
+	}
+	s.StepWords(s.inBuf, s.outBuf)
+	out := make(map[string]uint64, len(s.outPorts))
+	for i := range s.outPorts {
+		out[s.outPorts[i].Name] = s.outBuf[i]
+	}
+	return out
+}
+
+// interpStep is the reference backend: evaluate the levelized cells one
+// by one over a []bool net image.
+func (s *Simulator) interpStep(in, out []uint64) {
+	for pi := range s.inPorts {
+		w := in[pi]
+		for i, net := range s.inPorts[pi].Bits {
 			s.vals[net] = w>>uint(i)&1 == 1
 		}
 	}
@@ -240,38 +535,25 @@ func (s *Simulator) Step(inputs map[string]uint64) map[string]uint64 {
 		}
 		s.vals[c.Out] = nv
 	}
-	out := make(map[string]uint64, len(s.outNets))
-	for name, bits := range s.outNets {
+	for pi := range s.outPorts {
 		var w uint64
-		for i, net := range bits {
+		for i, net := range s.outPorts[pi].Bits {
 			if s.vals[net] {
 				w |= 1 << uint(i)
 			}
 		}
-		out[name] = w
+		out[pi] = w
 	}
 	// Rising edge: flops capture D.
-	next := make([]bool, len(s.n.DFFs))
 	for i, d := range s.n.DFFs {
-		next[i] = s.vals[d.In[0]]
+		s.next[i] = s.vals[d.In[0]]
 	}
 	for i, d := range s.n.DFFs {
-		if s.vals[d.Out] != next[i] {
+		if s.vals[d.Out] != s.next[i] {
 			s.Toggles++
 		}
-		s.vals[d.Out] = next[i]
+		s.vals[d.Out] = s.next[i]
 	}
-	if s.vcd != nil {
-		for name := range s.inNets {
-			s.vcdSigs[name].Set(inputs[name])
-		}
-		for name := range s.outNets {
-			s.vcdSigs["out."+name].Set(out[name])
-		}
-		s.vcd.Sample(s.Cycles)
-	}
-	s.Cycles++
-	return out
 }
 
 // Verilog renders the netlist as structural Verilog-2001.

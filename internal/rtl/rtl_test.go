@@ -1,18 +1,37 @@
 package rtl
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/trace"
 )
 
+// mustSim builds a simulator on the given backend, failing the test on
+// construction errors.
+func mustSim(t *testing.T, n *Netlist, b Backend) *Simulator {
+	t.Helper()
+	s, err := NewSimulatorBackend(n, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// forBothBackends runs a subtest against the interpreter and the
+// compiled backend: both must satisfy the same contract.
+func forBothBackends(t *testing.T, f func(t *testing.T, b Backend)) {
+	t.Run("interp", func(t *testing.T) { f(t, BackendInterp) })
+	t.Run("compiled", func(t *testing.T) { f(t, BackendCompiled) })
+}
+
 func TestAttachVCD(t *testing.T) {
 	n := &Netlist{Name: "vcd"}
 	a := n.NewNet()
 	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
 	n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: 0, Net: n.AddCell(INV, a)})
-	sim := NewSimulator(n)
+	sim := mustSim(t, n, BackendAuto)
 	var sb strings.Builder
 	v := trace.NewVCD(&sb)
 	sim.AttachVCD(v)
@@ -31,6 +50,10 @@ func TestAttachVCD(t *testing.T) {
 }
 
 func TestCellEvaluation(t *testing.T) {
+	forBothBackends(t, testCellEvaluation)
+}
+
+func testCellEvaluation(t *testing.T, backend Backend) {
 	n := &Netlist{Name: "cells"}
 	a := n.NewNet()
 	b := n.NewNet()
@@ -53,7 +76,7 @@ func TestCellEvaluation(t *testing.T) {
 	for name, net := range outs {
 		n.Outputs = append(n.Outputs, PortBit{Name: name, Bit: 0, Net: net})
 	}
-	sim := NewSimulator(n)
+	sim := mustSim(t, n, backend)
 	for av := uint64(0); av < 2; av++ {
 		for bv := uint64(0); bv < 2; bv++ {
 			got := sim.Step(map[string]uint64{"a": av, "b": bv})
@@ -84,6 +107,10 @@ func TestCellEvaluation(t *testing.T) {
 }
 
 func TestDFFOneCycleDelay(t *testing.T) {
+	forBothBackends(t, testDFFOneCycleDelay)
+}
+
+func testDFFOneCycleDelay(t *testing.T, backend Backend) {
 	n := &Netlist{Name: "dff"}
 	d := n.NewNet()
 	n.Inputs = append(n.Inputs, PortBit{Name: "d", Bit: 0, Net: d})
@@ -92,7 +119,7 @@ func TestDFFOneCycleDelay(t *testing.T) {
 	n.Outputs = append(n.Outputs,
 		PortBit{Name: "q", Bit: 0, Net: q},
 		PortBit{Name: "q2", Bit: 0, Net: q2})
-	sim := NewSimulator(n)
+	sim := mustSim(t, n, backend)
 	seq := []uint64{1, 0, 1, 1, 0}
 	var qs, q2s []uint64
 	for _, v := range seq {
@@ -141,11 +168,68 @@ func TestLevelizeDetectsLoop(t *testing.T) {
 		Cell{Kind: INV, Out: aOut, In: []Net{bOut}},
 		Cell{Kind: INV, Out: bOut, In: []Net{aOut}})
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("combinational loop not detected")
+		}
+		if _, ok := r.(*LoopError); !ok {
+			t.Fatalf("panic value = %v (%T), want *LoopError", r, r)
 		}
 	}()
 	n.Levelize()
+}
+
+func TestLoopErrorNamesCyclePath(t *testing.T) {
+	// a 3-cell cycle through an AND2: the diagnostic must walk the cycle
+	// by cell name and close it by repeating the first entry.
+	n := &Netlist{Name: "looppath"}
+	x := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "x", Bit: 0, Net: x})
+	aOut, bOut, cOut := n.NewNet(), n.NewNet(), n.NewNet()
+	n.Cells = append(n.Cells,
+		Cell{Kind: AND2, Out: aOut, In: []Net{x, cOut}},
+		Cell{Kind: INV, Out: bOut, In: []Net{aOut}},
+		Cell{Kind: BUF, Out: cOut, In: []Net{bOut}})
+	_, err := n.LevelizeChecked()
+	var le *LoopError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LoopError", err)
+	}
+	if le.Module != "looppath" || len(le.Path) != 4 || le.Path[0] != le.Path[len(le.Path)-1] {
+		t.Fatalf("path = %v", le.Path)
+	}
+	msg := err.Error()
+	for _, want := range []string{"AND2#0(n1)", "INV#1(n2)", "BUF#2(n3)", " -> "} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("diagnostic %q missing %q", msg, want)
+		}
+	}
+	// NewSimulator surfaces the same error instead of panicking.
+	if _, err := NewSimulator(n); !errors.As(err, &le) {
+		t.Fatalf("NewSimulator err = %v", err)
+	}
+}
+
+func TestLevelizeDeepChainIterative(t *testing.T) {
+	// A 200k-deep inverter chain would overflow the stack under the old
+	// recursive levelizer; the worklist version must handle it.
+	n := &Netlist{Name: "deep"}
+	cur := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: cur})
+	const depth = 200000
+	for i := 0; i < depth; i++ {
+		cur = n.AddCell(INV, cur)
+	}
+	n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: 0, Net: cur})
+	order := n.Levelize()
+	if len(order) != depth {
+		t.Fatalf("order len = %d", len(order))
+	}
+	sim := mustSim(t, n, BackendAuto)
+	out := sim.Step(map[string]uint64{"a": 1})
+	if out["y"] != 1 { // even number of inversions
+		t.Fatalf("y = %d", out["y"])
+	}
 }
 
 func TestAddCellArityPanics(t *testing.T) {
@@ -199,19 +283,81 @@ func TestVerilogTestbench(t *testing.T) {
 }
 
 func TestMultiBitPorts(t *testing.T) {
-	n := &Netlist{Name: "wide"}
-	var bits []Net
-	for i := 0; i < 4; i++ {
-		b := n.NewNet()
-		n.Inputs = append(n.Inputs, PortBit{Name: "x", Bit: i, Net: b})
-		bits = append(bits, b)
+	forBothBackends(t, func(t *testing.T, backend Backend) {
+		n := &Netlist{Name: "wide"}
+		var bits []Net
+		for i := 0; i < 4; i++ {
+			b := n.NewNet()
+			n.Inputs = append(n.Inputs, PortBit{Name: "x", Bit: i, Net: b})
+			bits = append(bits, b)
+		}
+		for i, b := range bits {
+			n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: i, Net: n.AddCell(INV, b)})
+		}
+		sim := mustSim(t, n, backend)
+		out := sim.Step(map[string]uint64{"x": 0b1010})
+		if out["y"] != 0b0101 {
+			t.Fatalf("y = %#b", out["y"])
+		}
+	})
+}
+
+func TestSparsePortError(t *testing.T) {
+	// A port declaring bits 0 and 2 but not 1 used to pad the gap with
+	// net -1 and panic indexing vals[-1] mid-Step; now it is a named
+	// construction error.
+	n := &Netlist{Name: "sparse"}
+	a, c := n.NewNet(), n.NewNet()
+	n.Inputs = append(n.Inputs,
+		PortBit{Name: "x", Bit: 0, Net: a},
+		PortBit{Name: "x", Bit: 2, Net: c})
+	n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: 0, Net: n.AddCell(OR2, a, c)})
+	_, err := NewSimulator(n)
+	var pce *PortCoverageError
+	if !errors.As(err, &pce) {
+		t.Fatalf("err = %v, want *PortCoverageError", err)
 	}
-	for i, b := range bits {
-		n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: i, Net: n.AddCell(INV, b)})
+	if pce.Port != "x" || pce.Bit != 1 || pce.Dir != "input" || pce.Width != 3 {
+		t.Fatalf("error fields = %+v", pce)
 	}
-	sim := NewSimulator(n)
-	out := sim.Step(map[string]uint64{"x": 0b1010})
-	if out["y"] != 0b0101 {
-		t.Fatalf("y = %#b", out["y"])
+
+	// Same hole on an output port.
+	n2 := &Netlist{Name: "sparseout"}
+	b := n2.NewNet()
+	n2.Inputs = append(n2.Inputs, PortBit{Name: "a", Bit: 0, Net: b})
+	n2.Outputs = append(n2.Outputs, PortBit{Name: "y", Bit: 1, Net: n2.AddCell(INV, b)})
+	_, err = NewSimulator(n2)
+	if !errors.As(err, &pce) || pce.Dir != "output" || pce.Bit != 0 {
+		t.Fatalf("output-port err = %v", err)
+	}
+}
+
+func TestPortValidation(t *testing.T) {
+	base := func() (*Netlist, Net) {
+		n := &Netlist{Name: "pv"}
+		a := n.NewNet()
+		n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
+		n.Outputs = append(n.Outputs, PortBit{Name: "y", Bit: 0, Net: n.AddCell(INV, a)})
+		return n, a
+	}
+	var pce *PortCoverageError
+
+	n, a := base()
+	n.Inputs = append(n.Inputs, PortBit{Name: "a", Bit: 0, Net: a})
+	if _, err := NewSimulator(n); !errors.As(err, &pce) || pce.Reason != "bit bound to two nets" {
+		t.Fatalf("duplicate bit err = %v", err)
+	}
+
+	n, _ = base()
+	n.Outputs = append(n.Outputs, PortBit{Name: "z", Bit: 0, Net: Net(99)})
+	if _, err := NewSimulator(n); !errors.As(err, &pce) {
+		t.Fatalf("out-of-range net err = %v", err)
+	}
+
+	n, _ = base()
+	wide := n.NewNet()
+	n.Inputs = append(n.Inputs, PortBit{Name: "w", Bit: 64, Net: wide})
+	if _, err := NewSimulator(n); !errors.As(err, &pce) || pce.Port != "w" {
+		t.Fatalf("over-wide port err = %v", err)
 	}
 }

@@ -26,15 +26,19 @@ func VerilogTestbench(n *Netlist, vectors, expected []map[string]uint64, latency
 		return m
 	}
 	inW, outW := widths(n.Inputs), widths(n.Outputs)
-	names := func(m map[string]int) []string {
+	names := func(ports []PortBit) []string {
+		seen := map[string]bool{}
 		var ns []string
-		for k := range m {
-			ns = append(ns, k)
+		for _, p := range ports {
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				ns = append(ns, p.Name)
+			}
 		}
 		sort.Strings(ns)
 		return ns
 	}
-	ins, outs := names(inW), names(outW)
+	ins, outs := names(n.Inputs), names(n.Outputs)
 
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "// Self-checking testbench for %s: %d vectors, latency %d.\n", n.Name, len(vectors), latency)

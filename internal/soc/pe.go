@@ -59,22 +59,33 @@ func newPE(clk *sim.Clock, name string, id, scratchWords, lanes int, mode connec
 		// clock edge, whether or not useful work flows through them.
 		// Two of the vector unit's MAC lanes are cosimulated at gate
 		// level (a 4× sampling of the 8-lane datapath, documented in
-		// EXPERIMENTS.md); each lane is an independent netlist instance.
-		lane0 := rtl.NewSimulator(shadowNetlist())
-		lane1 := rtl.NewSimulator(shadowNetlist())
+		// EXPERIMENTS.md); each lane is an independent netlist instance
+		// stepped on the word-slice fast path (compiled backend), since
+		// this per-edge hook is the SoC's gate-level hot loop.
+		lane0, err := rtl.NewSimulator(shadowNetlist())
+		if err != nil {
+			panic("soc: shadow MAC netlist rejected: " + err.Error())
+		}
+		lane1, err := rtl.NewSimulator(shadowNetlist())
+		if err != nil {
+			panic("soc: shadow MAC netlist rejected: " + err.Error())
+		}
+		ia := portIndex(lane0.InputPorts(), "a")
+		ib := portIndex(lane0.InputPorts(), "b")
+		iacc := portIndex(lane0.InputPorts(), "acc")
 		var tick uint64
-		in0 := map[string]uint64{}
-		in1 := map[string]uint64{}
+		in0 := make([]uint64, len(lane0.InputPorts()))
+		in1 := make([]uint64, len(lane1.InputPorts()))
 		clk.AtDriveNamed(name+"/shadow_mac", func() {
 			tick++
-			in0["a"] = tick * 0x9e3779b9
-			in0["b"] = tick ^ uint64(id)<<16
-			in0["acc"] = tick << 7
-			lane0.Step(in0)
-			in1["a"] = tick * 0x85ebca6b
-			in1["b"] = tick<<3 ^ uint64(id)
-			in1["acc"] = tick * 31
-			lane1.Step(in1)
+			in0[ia] = tick * 0x9e3779b9
+			in0[ib] = tick ^ uint64(id)<<16
+			in0[iacc] = tick << 7
+			lane0.StepWords(in0, nil)
+			in1[ia] = tick * 0x85ebca6b
+			in1[ib] = tick<<3 ^ uint64(id)
+			in1[iacc] = tick * 31
+			lane1.StepWords(in1, nil)
 		})
 		pe.gateSim = lane0
 	}
@@ -82,6 +93,16 @@ func newPE(clk *sim.Clock, name string, id, scratchWords, lanes int, mode connec
 		emit("gate_toggles", float64(pe.GateToggles()))
 	})
 	return pe
+}
+
+// portIndex finds a named port in a simulator's sorted port order.
+func portIndex(ports []rtl.Port, name string) int {
+	for i := range ports {
+		if ports[i].Name == name {
+			return i
+		}
+	}
+	panic("soc: shadow netlist missing port " + name)
 }
 
 // GateToggles returns the shadow netlist's switching activity (shadow

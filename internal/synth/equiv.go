@@ -21,7 +21,10 @@ func ProveEquivalence(d *hls.Design, latency int, nl *rtl.Netlist, maxBits int) 
 	if total > maxBits {
 		return 0, fmt.Errorf("synth: %s has %d input bits, over the %d-bit exhaustive limit", d.Name, total, maxBits)
 	}
-	sim := rtl.NewSimulator(nl)
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		return 0, fmt.Errorf("synth: %s: %w", d.Name, err)
+	}
 	space := uint64(1) << uint(total)
 
 	assign := func(v uint64) map[string]uint64 {
@@ -33,9 +36,16 @@ func ProveEquivalence(d *hls.Design, latency int, nl *rtl.Netlist, maxBits int) 
 		return in
 	}
 
-	// Stream the whole space through the pipeline, checking each output
-	// against the golden result of the vector issued `latency` cycles
-	// earlier.
+	// Stream the whole space through the pipeline on the word-slice
+	// fast path, checking each output against the golden result of the
+	// vector issued `latency` cycles earlier.
+	inPorts := sim.InputPorts()
+	outIdx := map[string]int{}
+	for i, p := range sim.OutputPorts() {
+		outIdx[p.Name] = i
+	}
+	inw := make([]uint64, len(inPorts))
+	outw := make([]uint64, len(sim.OutputPorts()))
 	proven := 0
 	for k := uint64(0); k < space+uint64(latency); k++ {
 		var in map[string]uint64
@@ -44,15 +54,22 @@ func ProveEquivalence(d *hls.Design, latency int, nl *rtl.Netlist, maxBits int) 
 		} else {
 			in = assign(0) // flush the pipeline
 		}
-		got := sim.Step(in)
+		for i := range inPorts {
+			inw[i] = in[inPorts[i].Name]
+		}
+		sim.StepWords(inw, outw)
 		if k < uint64(latency) {
 			continue
 		}
 		want := d.Interpret(assign(k - uint64(latency)))
 		for name, w := range want {
-			if got[name] != w {
+			var got uint64
+			if gi, ok := outIdx[name]; ok {
+				got = outw[gi]
+			}
+			if got != w {
 				return proven, fmt.Errorf("synth: %s NOT equivalent: input %#x output %s = %#x, want %#x",
-					d.Name, k-uint64(latency), name, got[name], w)
+					d.Name, k-uint64(latency), name, got, w)
 			}
 		}
 		proven++

@@ -32,7 +32,10 @@ func checkEquivalence(t *testing.T, d *hls.Design, cons hls.Constraints, optimiz
 	if optimize {
 		nl = Optimize(nl)
 	}
-	sim := rtl.NewSimulator(nl)
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := rand.New(rand.NewSource(seed))
 	var history []map[string]uint64
 	for k := 0; k < vectors+sched.Latency; k++ {
@@ -174,7 +177,10 @@ func TestVerilogEmission(t *testing.T) {
 func TestSimulatorTogglesCounted(t *testing.T) {
 	d := hls.Optimize(hls.AdderTreeDesign(4, 8))
 	nl := Optimize(Map(hls.Pipeline(d, hls.Constraints{ClockPS: 100000, NoPipeline: true})))
-	sim := rtl.NewSimulator(nl)
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := rand.New(rand.NewSource(5))
 	for k := 0; k < 20; k++ {
 		sim.Step(randVec(r, d))
@@ -196,7 +202,10 @@ func BenchmarkMapCrossbarDst16(b *testing.B) {
 func BenchmarkNetlistSimFIR(b *testing.B) {
 	d := hls.Optimize(hls.FIRDesign(8, 16))
 	nl := Optimize(Map(hls.Pipeline(d, hls.DefaultConstraints())))
-	sim := rtl.NewSimulator(nl)
+	sim, err := rtl.NewSimulator(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := rand.New(rand.NewSource(6))
 	in := randVec(r, d)
 	b.ResetTimer()
