@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench vet lint serve-smoke
+.PHONY: build test check bench vet lint serve-smoke fleet-smoke fleet-soak
 
 build:
 	$(GO) build ./...
@@ -16,17 +16,29 @@ test: build
 # over the untraced primitives), and hold the compiled RTL backend's
 # throughput floor over the interpreter.
 check: vet
-	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve
+	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve ./internal/fleet ./internal/fleet/wire
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
 	RTL_PERF_GATE=1 $(GO) test -count=1 -run TestRTLPerfGate -v .
 	$(MAKE) serve-smoke
+	$(MAKE) fleet-smoke
 
 # End-to-end smoke of the socd daemon: boot on an ephemeral port, submit
 # lint + sim jobs over HTTP, assert the cache-hit byte identity, and
 # drain on SIGTERM.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke of the socgw fleet: gateway + 3 workers, a mid-batch
+# worker kill/restart with zero lost jobs, and byte-identity of every
+# result against a single-daemon rerun.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
+# Sustained-load soak of the fleet with mid-soak worker chaos; heavier
+# than fleet-smoke, run on demand (ROUNDS=n to lengthen).
+fleet-soak:
+	sh scripts/fleet_soak.sh
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -1,5 +1,7 @@
-// Command socctl is the client for the socd job daemon: submit jobs,
-// watch their streamed progress, and fetch results over plain HTTP.
+// Command socctl is the client for the socd job daemon — and,
+// unchanged, for the socgw fleet gateway, which speaks the same HTTP
+// API: submit jobs, watch their streamed progress, and fetch results
+// over plain HTTP.
 //
 //	socctl -addr localhost:9090 submit -kind sim -test memcpy -wait
 //	socctl submit -kind stallhunt -stall 0.3 -messages 200 -seeds 8 -watch
@@ -38,7 +40,9 @@ commands:
   watch    stream a job's NDJSON progress events
   result   fetch a finished job's result body
   jobs     list jobs in submission order
-  metrics  dump the daemon's stats snapshot (serve/* namespace)
+  metrics  dump the daemon's stats snapshot (serve/* namespace; against
+           a socgw gateway this is the fleet/* namespace)
+  workers  list a socgw gateway's registered workers and their load
   health   query /healthz
 `)
 	os.Exit(2)
@@ -65,6 +69,8 @@ func main() {
 		err = cmdPlain(base + "/jobs")
 	case "metrics":
 		err = cmdPlain(base + "/metrics")
+	case "workers":
+		err = cmdPlain(base + "/workers")
 	case "health":
 		err = cmdPlain(base + "/healthz")
 	default:

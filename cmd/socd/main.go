@@ -9,6 +9,12 @@
 //	socd -addr :0 -workers 4     # ephemeral port (printed on stdout)
 //	socd -queue 64 -cache 256 -job-timeout 5m
 //
+// With -gateway the daemon also joins a socgw fleet: it dials the
+// gateway's worker port, registers under -name, and accepts jobs over
+// the binary wire protocol alongside its own HTTP surface.
+//
+//	socd -addr :0 -gateway 127.0.0.1:9191 -name w1
+//
 // Submit and watch jobs with cmd/socctl.
 package main
 
@@ -24,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
@@ -34,6 +41,9 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "content-addressed result cache entries (LRU)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job wall bound (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget before in-flight jobs are canceled")
+	gateway := flag.String("gateway", "", "socgw worker-port address to join as a fleet worker (empty = standalone)")
+	name := flag.String("name", "", "worker name for fleet registration (required with -gateway)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "fleet heartbeat cadence (with -gateway)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "socd: ", log.LstdFlags)
@@ -62,6 +72,24 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	// Fleet mode: dial the gateway and keep the session alive until the
+	// drain begins. Local HTTP clients and the gateway share one server —
+	// same queue, same cache, same results.
+	fleetCtx, fleetCancel := context.WithCancel(context.Background())
+	defer fleetCancel()
+	if *gateway != "" {
+		wk, err := fleet.NewWorker(srv, fleet.WorkerConfig{
+			Name:      *name,
+			Gateway:   *gateway,
+			Heartbeat: *heartbeat,
+			Logf:      logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("fleet: %v", err)
+		}
+		go wk.Run(fleetCtx)
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	select {
@@ -76,6 +104,7 @@ func main() {
 	// stragglers through the campaign context — then close the HTTP
 	// listener. Progress streams end naturally when their jobs do, so
 	// the HTTP shutdown completes promptly.
+	fleetCancel() // leave the fleet first so the gateway fails our queue over
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

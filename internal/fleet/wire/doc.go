@@ -1,0 +1,49 @@
+// Package wire is the fleet's binary hot-path codec: length-prefixed,
+// versioned frames carrying the gateway↔worker control messages —
+// register, ack, heartbeat, submit, progress, result, shed — over one
+// long-lived TCP connection per worker. The client-facing surface stays
+// HTTP/NDJSON (socctl works unchanged against the gateway); this
+// package only replaces the internal leg, where a fleet doing millions
+// of small progress and heartbeat exchanges cares about per-message
+// cost.
+//
+// # Encoding
+//
+// Fields are big-endian, packed in declaration order with no padding or
+// tags. Variable-length fields (strings, byte blobs) carry a u32 length
+// prefix. The primitives are deliberately udpx-style append/consume
+// helpers over reusable buffers:
+//
+//   - Writer appends into a reusable []byte (WriteUint64, WriteBytes,
+//     WriteString, ...); Reset keeps capacity, so a steady-state
+//     connection stops allocating.
+//   - Reader consumes positionally with a sticky error: decoders read
+//     every field unconditionally and check Err once, so a truncated
+//     frame cannot desynchronize later reads into garbage values.
+//
+// Every frame is:
+//
+//	magic   u16  0xF1EE — rejects cross-protocol accidents fast
+//	version u8   protocol generation (currently 1)
+//	type    u8   message type (append-only registry)
+//	length  u32  payload byte count, bounded by MaxFrame
+//	payload      message fields as above
+//
+// # Compatibility rules
+//
+// Three rules keep mixed-version fleets upgradeable:
+//
+//  1. Type values and field layouts of shipped messages are frozen.
+//     Evolution appends new message types or new trailing fields, never
+//     reorders or renumbers.
+//  2. An unknown message type inside a known version is skipped, not
+//     fatal — the length prefix keeps the stream in sync, so an old
+//     gateway survives a newer worker's extra telemetry frames.
+//  3. A version bump is a hard break: ReadMsg rejects mismatched
+//     versions and the connection is torn down at registration, so an
+//     incompatible pair fails loudly at join time, never mid-job.
+//
+// Golden-bytes tests in wire_test.go pin the exact encoding of every
+// message type; a diff there is a wire-format change and must come with
+// a version bump or an appended type.
+package wire

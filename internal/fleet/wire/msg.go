@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Type tags a frame's payload. Values are part of the wire contract:
+// never renumber a shipped type, only append.
+type Type uint8
+
+const (
+	TypeRegister  Type = 1 // worker → gateway: join the fleet
+	TypeAck       Type = 2 // gateway → worker: registration accepted
+	TypeHeartbeat Type = 3 // worker → gateway: liveness + queue load
+	TypeSubmit    Type = 4 // gateway → worker: run this job
+	TypeProgress  Type = 5 // worker → gateway: non-terminal job event
+	TypeResult    Type = 6 // worker → gateway: terminal status + body
+	TypeShed      Type = 7 // worker → gateway: could not admit the job
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeRegister:
+		return "register"
+	case TypeAck:
+		return "ack"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeSubmit:
+		return "submit"
+	case TypeProgress:
+		return "progress"
+	case TypeResult:
+		return "result"
+	case TypeShed:
+		return "shed"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Msg is one decoded wire message. Encode appends the payload fields
+// (not the frame header) to w; decode consumes them from r. Decoded
+// messages own their memory: byte fields are copied out of the frame
+// buffer so the buffer can be reused for the next frame.
+type Msg interface {
+	Type() Type
+	encode(w *Writer)
+	decode(r *Reader)
+}
+
+// Register announces a worker to the gateway. Name is the worker's
+// stable identity: a re-registration under a live name replaces the old
+// connection (the restart case). Capacity and Workers describe the
+// worker's admission queue and pool so the gateway can route by load
+// before the first heartbeat arrives.
+type Register struct {
+	Name     string
+	Capacity uint32 // admission queue depth
+	Workers  uint32 // worker pool width
+}
+
+func (*Register) Type() Type { return TypeRegister }
+func (m *Register) encode(w *Writer) {
+	w.WriteString(m.Name)
+	w.WriteUint32(m.Capacity)
+	w.WriteUint32(m.Workers)
+}
+func (m *Register) decode(r *Reader) {
+	m.Name = r.ReadString()
+	m.Capacity = r.ReadUint32()
+	m.Workers = r.ReadUint32()
+}
+
+// Ack completes registration. Gateway names the fleet so worker logs
+// can say who they joined.
+type Ack struct {
+	Gateway string
+}
+
+func (*Ack) Type() Type         { return TypeAck }
+func (m *Ack) encode(w *Writer) { w.WriteString(m.Gateway) }
+func (m *Ack) decode(r *Reader) { m.Gateway = r.ReadString() }
+
+// Heartbeat is the worker's periodic liveness and load report. Depth
+// and InFlight mirror the worker's serve/queue stats; the gateway
+// treats Depth >= Capacity as "saturated" and routes around the worker
+// instead of forwarding its inevitable shed.
+type Heartbeat struct {
+	Depth    uint32
+	InFlight uint32
+	Capacity uint32
+}
+
+func (*Heartbeat) Type() Type { return TypeHeartbeat }
+func (m *Heartbeat) encode(w *Writer) {
+	w.WriteUint32(m.Depth)
+	w.WriteUint32(m.InFlight)
+	w.WriteUint32(m.Capacity)
+}
+func (m *Heartbeat) decode(r *Reader) {
+	m.Depth = r.ReadUint32()
+	m.InFlight = r.ReadUint32()
+	m.Capacity = r.ReadUint32()
+}
+
+// Submit dispatches one job. Job is the gateway's job id (the handle
+// every later frame carries); Hash is the spec's content address;
+// Spec is the canonical spec byte string — already normalized, so the
+// worker re-derives the identical hash and cache key.
+type Submit struct {
+	Job  string
+	Hash uint64
+	Spec []byte
+}
+
+func (*Submit) Type() Type { return TypeSubmit }
+func (m *Submit) encode(w *Writer) {
+	w.WriteString(m.Job)
+	w.WriteUint64(m.Hash)
+	w.WriteBytes(m.Spec)
+}
+func (m *Submit) decode(r *Reader) {
+	m.Job = r.ReadString()
+	m.Hash = r.ReadUint64()
+	m.Spec = append([]byte(nil), r.ReadBytes()...)
+}
+
+// Progress relays one non-terminal event from the worker's job log.
+// Seq is the worker-local sequence number (the gateway re-sequences
+// into its own log; Seq is kept for debugging failover seams).
+type Progress struct {
+	Job    string
+	Seq    uint32
+	Event  string
+	Done   uint32
+	Total  uint32
+	Label  string
+	Cached bool
+}
+
+func (*Progress) Type() Type { return TypeProgress }
+func (m *Progress) encode(w *Writer) {
+	w.WriteString(m.Job)
+	w.WriteUint32(m.Seq)
+	w.WriteString(m.Event)
+	w.WriteUint32(m.Done)
+	w.WriteUint32(m.Total)
+	w.WriteString(m.Label)
+	w.WriteBool(m.Cached)
+}
+func (m *Progress) decode(r *Reader) {
+	m.Job = r.ReadString()
+	m.Seq = r.ReadUint32()
+	m.Event = r.ReadString()
+	m.Done = r.ReadUint32()
+	m.Total = r.ReadUint32()
+	m.Label = r.ReadString()
+	m.Cached = r.ReadBool()
+}
+
+// Result statuses. Part of the wire contract like Type values.
+const (
+	StatusDone     uint8 = 1
+	StatusFailed   uint8 = 2
+	StatusCanceled uint8 = 3
+)
+
+// Result terminates a job: status, the error message for failed /
+// canceled outcomes, and the canonical result body for done. Cached
+// reports whether the worker's LRU served the body without recomputing.
+type Result struct {
+	Job    string
+	Status uint8
+	Cached bool
+	Error  string
+	Body   []byte
+}
+
+func (*Result) Type() Type { return TypeResult }
+func (m *Result) encode(w *Writer) {
+	w.WriteString(m.Job)
+	w.WriteUint8(m.Status)
+	w.WriteBool(m.Cached)
+	w.WriteString(m.Error)
+	w.WriteBytes(m.Body)
+}
+func (m *Result) decode(r *Reader) {
+	m.Job = r.ReadString()
+	m.Status = r.ReadUint8()
+	m.Cached = r.ReadBool()
+	m.Error = r.ReadString()
+	m.Body = append([]byte(nil), r.ReadBytes()...)
+}
+
+// Shed reports that the worker's admission queue refused the job — the
+// race where a submit crossed a filling queue before the heartbeat
+// could report saturation. The gateway reroutes instead of failing.
+type Shed struct {
+	Job        string
+	RetryAfter uint32 // worker's own backoff estimate, seconds
+	Depth      uint32
+}
+
+func (*Shed) Type() Type { return TypeShed }
+func (m *Shed) encode(w *Writer) {
+	w.WriteString(m.Job)
+	w.WriteUint32(m.RetryAfter)
+	w.WriteUint32(m.Depth)
+}
+func (m *Shed) decode(r *Reader) {
+	m.Job = r.ReadString()
+	m.RetryAfter = r.ReadUint32()
+	m.Depth = r.ReadUint32()
+}
+
+// newMsg allocates the struct for a frame type; nil means the type is
+// unknown to this version (the caller skips the frame — types are
+// append-only, so skipping is forward-compatible).
+func newMsg(t Type) Msg {
+	switch t {
+	case TypeRegister:
+		return &Register{}
+	case TypeAck:
+		return &Ack{}
+	case TypeHeartbeat:
+		return &Heartbeat{}
+	case TypeSubmit:
+		return &Submit{}
+	case TypeProgress:
+		return &Progress{}
+	case TypeResult:
+		return &Result{}
+	case TypeShed:
+		return &Shed{}
+	}
+	return nil
+}
+
+// Append encodes m as one complete frame — header plus payload — onto
+// the writer. The writer is not reset first, so callers can batch
+// frames into one syscall.
+func Append(w *Writer, m Msg) error {
+	start := w.Len()
+	w.WriteUint16(Magic)
+	w.WriteUint8(Version)
+	w.WriteUint8(uint8(m.Type()))
+	w.WriteUint32(0) // length backpatched below
+	payloadStart := w.Len()
+	m.encode(w)
+	n := w.Len() - payloadStart
+	if n > MaxFrame {
+		w.B = w.B[:start]
+		return headerError(ErrFrameSize, uint64(n))
+	}
+	w.B[start+4] = byte(n >> 24)
+	w.B[start+5] = byte(n >> 16)
+	w.B[start+6] = byte(n >> 8)
+	w.B[start+7] = byte(n)
+	return nil
+}
+
+// WriteMsg encodes m into w's buffer and writes it to out in one Write
+// call. The writer is reset first; its buffer is reused across calls.
+func WriteMsg(out io.Writer, w *Writer, m Msg) error {
+	w.Reset()
+	if err := Append(w, m); err != nil {
+		return err
+	}
+	_, err := out.Write(w.B)
+	return err
+}
+
+// ReadMsg reads exactly one frame from in, reusing scratch for the
+// payload, and decodes it. An unknown-but-well-framed message type is
+// skipped and the next frame read (forward compatibility); a bad magic,
+// unsupported version, oversized frame, or truncated payload is a
+// terminal error. The returned scratch slice must be passed back in on
+// the next call to keep the buffer reuse going.
+func ReadMsg(in io.Reader, scratch []byte) (Msg, []byte, error) {
+	var hdr [HeaderLen]byte
+	for {
+		if _, err := io.ReadFull(in, hdr[:]); err != nil {
+			return nil, scratch, err
+		}
+		h := NewReader(hdr[:])
+		magic := h.ReadUint16()
+		version := h.ReadUint8()
+		typ := Type(h.ReadUint8())
+		length := h.ReadUint32()
+		if magic != Magic {
+			return nil, scratch, headerError(ErrBadMagic, uint64(magic))
+		}
+		if version != Version {
+			return nil, scratch, headerError(ErrBadVersion, uint64(version))
+		}
+		if length > MaxFrame {
+			return nil, scratch, headerError(ErrFrameSize, uint64(length))
+		}
+		if int(length) > cap(scratch) {
+			scratch = make([]byte, length)
+		}
+		payload := scratch[:length]
+		if _, err := io.ReadFull(in, payload); err != nil {
+			return nil, scratch, err
+		}
+		m := newMsg(typ)
+		if m == nil {
+			continue // unknown type: skip, stay in sync
+		}
+		r := NewReader(payload)
+		m.decode(r)
+		if err := r.Err(); err != nil {
+			return nil, scratch, fmt.Errorf("wire: decoding %v: %w", typ, err)
+		}
+		return m, scratch, nil
+	}
+}

@@ -222,7 +222,7 @@ func (p *program) step(in, out []uint64) uint64 {
 		case NOR2:
 			inb := p.inb[r.start:r.end]
 			for i := range ov {
-				ov[i] = v[ina[i]]|v[inb[i]] ^ 1
+				ov[i] = v[ina[i]] | v[inb[i]] ^ 1
 			}
 		case AND2:
 			inb := p.inb[r.start:r.end]

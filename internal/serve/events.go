@@ -21,11 +21,14 @@ func (e Event) Terminal() bool {
 	return e.Event == "done" || e.Event == "failed" || e.Event == "canceled"
 }
 
-// eventHub is a job's progress log plus its live subscribers. The full
+// EventLog is a job's progress log plus its live subscribers. The full
 // history is kept (job logs are small — one line per campaign job, plus
 // bookends), so a watcher attaching at any point gets every event
-// exactly once, in order.
-type eventHub struct {
+// exactly once, in order. It is exported for the fleet layer
+// (internal/fleet), whose gateway keeps one log per proxied job and
+// republishes worker progress into it; inside this package every task
+// owns one.
+type EventLog struct {
 	mu     sync.Mutex
 	past   []Event
 	subs   map[int]chan Event
@@ -33,15 +36,18 @@ type eventHub struct {
 	closed bool
 }
 
-func newEventHub() *eventHub {
-	return &eventHub{subs: make(map[int]chan Event)}
+// NewEventLog returns an empty, open log.
+func NewEventLog() *EventLog {
+	return &EventLog{subs: make(map[int]chan Event)}
 }
 
-// publish appends the event (assigning its Seq) and fans it out. A
+// Publish appends the event (assigning its Seq) and fans it out. A
 // subscriber that cannot keep up — its buffer full — is dropped rather
 // than allowed to block job execution; its channel closes and the
-// HTTP handler reports the truncation.
-func (h *eventHub) publish(e Event) {
+// HTTP handler reports the truncation. Events published after the
+// terminal one are dropped, which is what makes replays after a fleet
+// failover harmless: the first terminal event wins.
+func (h *EventLog) Publish(e Event) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -66,11 +72,11 @@ func (h *eventHub) publish(e Event) {
 	}
 }
 
-// subscribe returns the replay of everything published so far and, when
+// Subscribe returns the replay of everything published so far and, when
 // the log is still open, a channel tailing future events (closed on the
 // terminal event). cancel detaches the subscriber; it is safe to call
 // after the channel closed.
-func (h *eventHub) subscribe() (replay []Event, live <-chan Event, cancel func()) {
+func (h *EventLog) Subscribe() (replay []Event, live <-chan Event, cancel func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	replay = append([]Event(nil), h.past...)

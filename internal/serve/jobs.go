@@ -33,6 +33,15 @@ type Progress func(done, total int, label string)
 // handles traffic (the map itself is unsynchronized by design).
 var testKinds = map[string]func(c *exp.Ctx, spec Spec, progress Progress) ([]byte, error){}
 
+// RegisterTestKind installs a synthetic job kind. It exists solely for
+// tests outside this package (internal/fleet's gateway/failover tests
+// need wire-visible jobs with test-controlled timing); production code
+// must never call it. Like testKinds itself, registration must happen
+// before any server handles traffic.
+func RegisterTestKind(kind string, fn func(c *exp.Ctx, spec Spec, progress Progress) ([]byte, error)) {
+	testKinds[kind] = fn
+}
+
 // Execute runs a normalized spec to completion and returns its result
 // body — canonical JSON whose bytes depend only on the spec, never on
 // wall-clock time, worker count, or host scheduling. That invariant is

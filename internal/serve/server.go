@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -60,7 +61,7 @@ type task struct {
 	id   string
 	spec Spec
 	hash uint64
-	hub  *eventHub
+	hub  *EventLog
 	done chan struct{}
 
 	mu     sync.Mutex
@@ -171,7 +172,7 @@ func (s *Server) newTask(spec Spec, hash uint64, status string) *task {
 		id:     fmt.Sprintf("job-%d", s.seq),
 		spec:   spec,
 		hash:   hash,
-		hub:    newEventHub(),
+		hub:    NewEventLog(),
 		done:   make(chan struct{}),
 		status: status,
 	}
@@ -204,13 +205,13 @@ func (s *Server) runTask(t *task) {
 	t.mu.Lock()
 	t.status = "running"
 	t.mu.Unlock()
-	t.hub.publish(Event{Event: "start", Label: t.spec.Kind})
+	t.hub.Publish(Event{Event: "start", Label: t.spec.Kind})
 
 	sum := exp.Run([]exp.Job{{
 		Name: "job",
 		Run: func(c *exp.Ctx) (any, error) {
 			return Execute(c, t.spec, func(done, total int, label string) {
-				t.hub.publish(Event{Event: "progress", Done: done, Total: total, Label: label})
+				t.hub.Publish(Event{Event: "progress", Done: done, Total: total, Label: label})
 			})
 		},
 	}},
@@ -246,7 +247,7 @@ func (s *Server) finish(t *task, status string, body []byte, errMsg string) {
 	if errMsg != "" {
 		ev.Error = errMsg
 	}
-	t.hub.publish(ev)
+	t.hub.Publish(ev)
 	close(t.done)
 	s.cfg.Logf("serve: %s %s %s [%s]", t.id, t.spec.Kind, status, HashString(t.hash))
 }
@@ -336,63 +337,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	hash := spec.Hash()
 	wait := r.URL.Query().Get("wait") == "1"
-	s.submitted.Add(1)
 
-	if body, ok := s.cache.Get(hash); ok {
-		t := s.newTask(spec, hash, "done")
-		t.mu.Lock()
-		t.body, t.cached = body, true
-		t.mu.Unlock()
-		t.hub.publish(Event{Event: "done", Cached: true})
-		close(t.done)
+	sub, err := s.Submit(spec)
+	if err != nil {
+		var qf *QueueFullError
+		switch {
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "30")
+			writeErr(w, http.StatusServiceUnavailable, "draining: not admitting jobs")
+		case errors.As(err, &qf):
+			w.Header().Set("Retry-After", strconv.Itoa(qf.RetryAfter))
+			writeErr(w, http.StatusTooManyRequests, "queue full (%d deep): retry after %ds",
+				qf.Depth, qf.RetryAfter)
+		default:
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	t := sub.t
+	if sub.Cached {
 		if wait {
 			s.writeResult(w, t)
 			return
 		}
 		writeJSON(w, http.StatusOK, submitResponse{
-			ID: t.id, Hash: HashString(hash), Status: "done", Cached: true,
+			ID: t.id, Hash: HashString(sub.Hash), Status: "done", Cached: true,
 		})
 		return
 	}
-
-	// Admission: the queue send happens under s.mu so it can never race
-	// BeginDrain's close; a full queue sheds the request instead of
-	// blocking the handler.
-	t := s.newTask(spec, hash, "queued")
-	s.mu.Lock()
-	draining := s.draining
-	admitted := false
-	if !draining {
-		select {
-		case s.queue <- t:
-			admitted = true
-		default:
-		}
-	}
-	s.mu.Unlock()
-	if draining {
-		s.dropTask(t)
-		w.Header().Set("Retry-After", "30")
-		writeErr(w, http.StatusServiceUnavailable, "draining: not admitting jobs")
-		return
-	}
-	if !admitted {
-		// Load shed: drop the record too — a 429'd job has no id to poll.
-		s.dropTask(t)
-		s.shed.Add(1)
-		retry := 1 + 2*int(s.depth.Load()+s.inFlight.Load())
-		if retry > 60 {
-			retry = 60
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeErr(w, http.StatusTooManyRequests, "queue full (%d deep): retry after %ds",
-			s.cfg.QueueDepth, retry)
-		return
-	}
-	s.depth.Add(1)
-	t.hub.publish(Event{Event: "queued", Label: spec.Kind})
 	if wait {
 		select {
 		case <-t.done:
@@ -404,7 +377,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: t.id, Hash: HashString(hash), Status: "queued", Cached: false,
+		ID: t.id, Hash: HashString(sub.Hash), Status: "queued", Cached: false,
 	})
 }
 
@@ -503,7 +476,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
-	replay, live, cancel := t.hub.subscribe()
+	replay, live, cancel := t.hub.Subscribe()
 	defer cancel()
 	for _, e := range replay {
 		enc.Encode(e)

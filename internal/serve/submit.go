@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The programmatic submission surface. The HTTP handlers are thin
+// wrappers over it; the fleet layer's worker mode (internal/fleet)
+// drives it directly, bridging gateway wire frames onto the same
+// admission queue, cache, and event plumbing the HTTP path uses — one
+// code path, two front ends.
+
+// ErrDraining rejects submissions to a server that has begun its drain.
+// The HTTP surface renders it as 503.
+var ErrDraining = errors.New("serve: draining: not admitting jobs")
+
+// QueueFullError rejects a submission the bounded admission queue could
+// not absorb, with the server's own backoff estimate. The HTTP surface
+// renders it as 429 + Retry-After; a fleet worker relays it to the
+// gateway as a shed frame so the gateway can route around the hot spot.
+type QueueFullError struct {
+	Depth      int // configured queue capacity
+	RetryAfter int // suggested client backoff, seconds
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("serve: queue full (%d deep): retry after %ds", e.Depth, e.RetryAfter)
+}
+
+// Submission is a handle on one admitted (or cache-satisfied) job.
+type Submission struct {
+	ID     string
+	Hash   uint64
+	Cached bool // satisfied from the result cache at submission time
+	t      *task
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (sub *Submission) Done() <-chan struct{} { return sub.t.done }
+
+// Snapshot returns the job's current status ("queued", "running",
+// "done", "failed", "canceled"), its result body when done, its error
+// message when failed or canceled, and whether the body came from the
+// cache. The body is the canonical result — callers must not mutate it.
+func (sub *Submission) Snapshot() (status string, body []byte, errMsg string, cached bool) {
+	return sub.t.snapshot()
+}
+
+// Watch subscribes to the job's event log: the replay of everything
+// published so far plus, while the log is open, a live channel closed
+// on the terminal event. cancel detaches the watcher.
+func (sub *Submission) Watch() (replay []Event, live <-chan Event, cancel func()) {
+	return sub.t.hub.Subscribe()
+}
+
+// Submit normalizes and admits a spec exactly as POST /jobs does:
+// content-hash first, cache lookup, then bounded admission. It returns
+// ErrDraining after BeginDrain, a *QueueFullError when the queue sheds,
+// or a normalization error for an invalid spec. A returned Submission
+// is live: the job is cached, queued, or already running.
+func (s *Server) Submit(spec Spec) (*Submission, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	hash := spec.Hash()
+	s.submitted.Add(1)
+
+	if body, ok := s.cache.Get(hash); ok {
+		t := s.newTask(spec, hash, "done")
+		t.mu.Lock()
+		t.body, t.cached = body, true
+		t.mu.Unlock()
+		t.hub.Publish(Event{Event: "done", Cached: true})
+		close(t.done)
+		return &Submission{ID: t.id, Hash: hash, Cached: true, t: t}, nil
+	}
+
+	// Admission: the queue send happens under s.mu so it can never race
+	// BeginDrain's close; a full queue sheds the request instead of
+	// blocking the caller.
+	t := s.newTask(spec, hash, "queued")
+	s.mu.Lock()
+	draining := s.draining
+	admitted := false
+	if !draining {
+		select {
+		case s.queue <- t:
+			admitted = true
+		default:
+		}
+	}
+	s.mu.Unlock()
+	if draining {
+		s.dropTask(t)
+		return nil, ErrDraining
+	}
+	if !admitted {
+		// Load shed: drop the record too — a shed job has no id to poll.
+		s.dropTask(t)
+		s.shed.Add(1)
+		retry := 1 + 2*int(s.depth.Load()+s.inFlight.Load())
+		if retry > 60 {
+			retry = 60
+		}
+		return nil, &QueueFullError{Depth: s.cfg.QueueDepth, RetryAfter: retry}
+	}
+	s.depth.Add(1)
+	t.hub.Publish(Event{Event: "queued", Label: spec.Kind})
+	return &Submission{ID: t.id, Hash: hash, t: t}, nil
+}
+
+// Load reports the server's instantaneous admission load — queue depth,
+// jobs executing, configured queue capacity, and pool width. Fleet
+// workers put these numbers in their heartbeats so the gateway can
+// route around saturation instead of discovering it via sheds.
+func (s *Server) Load() (depth, inFlight, capacity, workers int) {
+	return int(s.depth.Load()), int(s.inFlight.Load()), s.cfg.QueueDepth, s.cfg.Workers
+}
