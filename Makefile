@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench vet lint serve-smoke fleet-smoke fleet-soak
+.PHONY: build test check bench vet lint rateck serve-smoke fleet-smoke fleet-soak
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,11 @@ test: build
 # over the untraced primitives), and hold the compiled RTL backend's
 # throughput floor over the interpreter.
 check: vet
-	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve ./internal/fleet ./internal/fleet/wire
+	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve ./internal/fleet ./internal/fleet/wire ./internal/ratecheck
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
 	RTL_PERF_GATE=1 $(GO) test -count=1 -run TestRTLPerfGate -v .
+	$(MAKE) rateck
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
 
@@ -54,3 +55,9 @@ vet:
 lint:
 	$(GO) run ./cmd/socsim -test all -lint
 	$(GO) run ./cmd/socsim -test all -gals -lint
+
+# Static communication-rate check (SDF balance, buffer sizing,
+# throughput bounds) of every shipped SoC design, both clockings.
+rateck:
+	$(GO) run ./cmd/socsim -test all -rateck
+	$(GO) run ./cmd/socsim -test all -gals -rateck

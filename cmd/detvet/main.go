@@ -10,6 +10,11 @@
 //     are fine),
 //   - ranging over a map (iteration order is randomized per run).
 //
+// Packages listed in floatFreeDirs are additionally barred from
+// floating point (float32/float64 names and floating literals): their
+// published numbers are exact rationals, and a single float sneaking
+// into a bound computation would silently trade exactness for rounding.
+//
 // A finding can be waived by putting a "//detvet:ok <reason>" comment on
 // the offending line or the line above it.
 //
@@ -49,6 +54,18 @@ var checkedDirs = []string{
 	// waivers so each use stays auditable.
 	"internal/fleet",
 	"internal/fleet/wire",
+	// The static rate analysis renders byte-stable reports and is under
+	// the stricter no-float contract below: every bound it publishes is
+	// an exact rational.
+	"internal/ratecheck",
+}
+
+// floatFreeDirs are checked packages additionally barred from floating
+// point. ratecheck's whole contract is exact rational arithmetic — a
+// float64 in a bound computation rounds, and a rounded bound is no
+// longer a sound bound.
+var floatFreeDirs = map[string]bool{
+	"internal/ratecheck": true,
 }
 
 // randAllowed are the math/rand selectors that construct or name seeded
@@ -73,7 +90,7 @@ func main() {
 	}
 	var all []finding
 	for _, dir := range checkedDirs {
-		fs, err := checkDir(filepath.Join(root, dir))
+		fs, err := checkDir(filepath.Join(root, dir), floatFreeDirs[dir])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "detvet:", err)
 			os.Exit(2)
@@ -96,7 +113,7 @@ func main() {
 	}
 }
 
-func checkDir(dir string) ([]finding, error) {
+func checkDir(dir string, noFloat bool) ([]finding, error) {
 	fset := token.NewFileSet()
 	notTest := func(fi os.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") }
 	pkgs, err := parser.ParseDir(fset, dir, notTest, parser.ParseComments)
@@ -129,7 +146,7 @@ func checkDir(dir string) ([]finding, error) {
 		collectPackageMapNames(f, mapFields)
 	}
 	for _, n := range names {
-		fs = append(fs, checkFile(fset, byName[n], mapFields)...)
+		fs = append(fs, checkFile(fset, byName[n], mapFields, noFloat)...)
 	}
 	return fs, nil
 }
@@ -233,7 +250,7 @@ func collectSpecMapNames(spec *ast.ValueSpec, out map[string]bool) {
 	}
 }
 
-func checkFile(fset *token.FileSet, f *ast.File, mapFields map[string]bool) []finding {
+func checkFile(fset *token.FileSet, f *ast.File, mapFields map[string]bool, noFloat bool) []finding {
 	// Lines carrying a waiver comment, plus the line each waiver covers
 	// when it stands alone above the offending statement.
 	waived := map[int]bool{}
@@ -298,6 +315,18 @@ func checkFile(fset *token.FileSet, f *ast.File, mapFields map[string]bool) []fi
 					if isMap(x.Sel.Name) {
 						report(&fs, n.Pos(), fmt.Sprintf("ranges over map field %q: iteration order is randomized per run", x.Sel.Name))
 					}
+				}
+			case *ast.Ident:
+				// Syntactic, so a selector like math.Float64bits passes (its
+				// Sel is "Float64bits", not the type name); only the bare
+				// type names in declarations, conversions, and type switches
+				// are caught — which is where floats enter a computation.
+				if noFloat && (n.Name == "float64" || n.Name == "float32") {
+					report(&fs, n.Pos(), fmt.Sprintf("uses %s: this package publishes exact rationals; floating point rounds and a rounded bound is unsound", n.Name))
+				}
+			case *ast.BasicLit:
+				if noFloat && n.Kind == token.FLOAT {
+					report(&fs, n.Pos(), fmt.Sprintf("floating literal %s: this package publishes exact rationals; use integer or sim.Rat arithmetic", n.Value))
 				}
 			}
 			return true

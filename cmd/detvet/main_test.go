@@ -7,13 +7,15 @@ import (
 	"testing"
 )
 
-func runOn(t *testing.T, src string) []finding {
+func runOn(t *testing.T, src string) []finding { return runOnOpts(t, src, false) }
+
+func runOnOpts(t *testing.T, src string, noFloat bool) []finding {
 	t.Helper()
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fs, err := checkDir(dir)
+	fs, err := checkDir(dir, noFloat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,6 +94,55 @@ func TestRTLUnderDeterminismContract(t *testing.T) {
 		}
 	}
 	t.Fatal("internal/rtl missing from checkedDirs")
+}
+
+func TestFlagsFloats(t *testing.T) {
+	src := `package x
+type r struct{ v float64 }
+func f(x float32) float64 { return float64(x) * 0.5 }
+func g(n int) int { return n * 2 }
+`
+	if fs := runOnOpts(t, src, false); len(fs) != 0 {
+		t.Fatalf("float rule fired outside a float-free dir: %+v", fs)
+	}
+	fs := runOnOpts(t, src, true)
+	// One per float mention: the field type, the param type, the result
+	// type, the conversion, and the 0.5 literal.
+	if len(fs) != 5 {
+		t.Fatalf("findings = %+v, want 5", fs)
+	}
+	for _, f := range fs {
+		if !strings.Contains(f.msg, "exact rational") {
+			t.Fatalf("unexpected finding: %+v", f)
+		}
+	}
+}
+
+func TestFloatWaiver(t *testing.T) {
+	fs := runOnOpts(t, `package x
+//detvet:ok display-only percentage, never fed back into a bound
+func pct(n, d int) float64 {
+	return float64(n) //detvet:ok same
+}
+`, true)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want waived", fs)
+	}
+}
+
+func TestRatecheckUnderFloatFreeContract(t *testing.T) {
+	if !floatFreeDirs["internal/ratecheck"] {
+		t.Fatal("internal/ratecheck missing from floatFreeDirs")
+	}
+	found := false
+	for _, d := range checkedDirs {
+		if d == "internal/ratecheck" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("internal/ratecheck missing from checkedDirs")
+	}
 }
 
 func TestWaiverComment(t *testing.T) {

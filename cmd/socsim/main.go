@@ -10,6 +10,7 @@
 //	socsim -test memcpy -vcd out.vcd      # per-channel waveforms, GTKWave-ready
 //	socsim -test memcpy -trace            # backpressure/deadlock report
 //	socsim -test all -lint                # static design-rule check, no simulation
+//	socsim -test all -rateck              # static communication-rate check, no simulation
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/connections"
 	"repro/internal/lint"
+	"repro/internal/ratecheck"
 	"repro/internal/soc"
 	"repro/internal/trace"
 )
@@ -41,6 +43,8 @@ func main() {
 	partitions := flag.Int("partitions", 0, "shard the clocks onto this many parallel workers (0 = sequential kernel; any N >= 1 gives bit-identical results)")
 	lintF := flag.Bool("lint", false, "statically lint the selected designs (CDC/deadlock/connectivity rules) and exit without simulating")
 	lintJSON := flag.String("lintjson", "", "write the combined lint diagnostics as JSON to this file (implies -lint)")
+	rateF := flag.Bool("rateck", false, "statically check communication rates (SDF balance, buffer sizing, throughput bounds) and exit without simulating")
+	rateJSON := flag.String("rateckjson", "", "write the combined rate diagnostics as JSON to this file (implies -rateck)")
 	flag.Parse()
 
 	cfg := soc.DefaultConfig()
@@ -67,6 +71,12 @@ func main() {
 	}
 	if *lintF {
 		os.Exit(runLint(cfg, *testName, *lintJSON))
+	}
+	if *rateJSON != "" {
+		*rateF = true
+	}
+	if *rateF {
+		os.Exit(runRateck(cfg, *testName, *rateJSON))
 	}
 
 	any := false
@@ -178,6 +188,60 @@ func runLint(cfg soc.Config, testName, jsonPath string) int {
 		}
 		// The combined JSON dump roots each design's diagnostics under its
 		// test name so one file can span "-test all".
+		for _, d := range r.Diags {
+			d.Path = tc.Name + "/" + d.Path
+			all = append(all, d)
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "socsim: unknown test %q\n", testName)
+		return 2
+	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err == nil {
+			err = lint.WriteDiagsJSON(f, all)
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socsim:", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runRateck is the rate-analysis twin of runLint: build each selected
+// design, solve its balance equations, and print bounds; nothing is
+// simulated. The mis-rated fixtures (soc.RateFixtures) are selectable by
+// exact name but excluded from "all", so "-test all -rateck" asserts
+// every shipped design is rate-consistent.
+func runRateck(cfg soc.Config, testName, jsonPath string) int {
+	cases := append(soc.Tests(), soc.ExtraTests()...)
+	if testName != "all" {
+		cases = append(cases, soc.LintFixtures()...)
+		cases = append(cases, soc.RateFixtures()...)
+	}
+	any, failed := false, false
+	var all []lint.Diag
+	for _, tc := range cases {
+		if testName != "all" && tc.Name != testName {
+			continue
+		}
+		any = true
+		s, _ := tc.Build(cfg)
+		r := ratecheck.Check(s.Sim)
+		fmt.Printf("%s:\n", tc.Name)
+		r.WriteTree(os.Stdout)
+		if r.Errors() > 0 {
+			failed = true
+		}
 		for _, d := range r.Diags {
 			d.Path = tc.Name + "/" + d.Path
 			all = append(all, d)

@@ -44,6 +44,28 @@ func (p *Out[T]) Owned(clk *sim.Clock, path, port string) *Out[T] {
 	return p
 }
 
+// Rated declares the port's token rate for the static communication-rate
+// pass (internal/ratecheck): the owning actor moves num/den tokens
+// through this port per firing. It chains after Owned — rating an
+// anonymous port is a programming error, since ratecheck can only see
+// declared endpoints.
+func (p *In[T]) Rated(num, den int64) *In[T] {
+	if p.owner == nil {
+		panic("connections: Rated on a port without Owned; declare ownership first")
+	}
+	p.owner.Rate = sim.NewRat(num, den)
+	return p
+}
+
+// Rated declares producer-side token rate; see In.Rated.
+func (p *Out[T]) Rated(num, den int64) *Out[T] {
+	if p.owner == nil {
+		panic("connections: Rated on a port without Owned; declare ownership first")
+	}
+	p.owner.Rate = sim.NewRat(num, den)
+	return p
+}
+
 func (p *In[T]) need() *core[T] {
 	if p.ch == nil {
 		if p.owner != nil {

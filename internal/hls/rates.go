@@ -1,0 +1,21 @@
+package hls
+
+// RateAnno declares one port's steady-state token rate for the static
+// communication-rate pass (internal/ratecheck): the kernel moves Num/Den
+// tokens through the named port per firing. A fully pipelined schedule
+// initiates one firing per cycle (II = 1), so the annotation doubles as
+// the port's tokens-per-cycle bound once the design is scheduled.
+type RateAnno struct {
+	Port string
+	Num  int64
+	Den  int64
+}
+
+// DeclareRate records a port rate annotation. Validation happens in
+// ratecheck.CheckHLS, not here, so capture code can annotate freely and
+// get one structured diagnostic list later; the method returns the
+// design for chaining.
+func (d *Design) DeclareRate(port string, num, den int64) *Design {
+	d.Rates = append(d.Rates, RateAnno{Port: port, Num: num, Den: den})
+	return d
+}

@@ -38,6 +38,10 @@ func NewNI(clk *sim.Clock, name string, node, nVCs int, vcPick func(Packet) int)
 		ni.FlitOut[v] = connections.NewOut[Flit]().Owned(clk, name, fmt.Sprintf("flit_out[%d]", v))
 		ni.FlitIn[v] = connections.NewIn[Flit]().Owned(clk, name, fmt.Sprintf("flit_in[%d]", v))
 	}
+	// Packet-to-flit conversion is data-dependent (flit count tracks the
+	// payload length, the VC tracks vcPick), so the NI terminates any SDF
+	// region the way the routers do.
+	clk.Sim().Design().DeclareActor(name, sim.ActorSwitch, clk, sim.Rat{})
 	clk.Spawn(name+".inject", func(th *sim.Thread) {
 		for {
 			p := ni.PktIn.Pop(th)

@@ -28,8 +28,9 @@ type WHVCRouter struct {
 	route        RouteFunc
 	vcMap        VCMapFunc
 
-	clk *sim.Clock
-	sub *trace.Subject // armed handshake tracing; nil when disarmed
+	name string
+	clk  *sim.Clock
+	sub  *trace.Subject // armed handshake tracing; nil when disarmed
 }
 
 type outLock struct {
@@ -58,9 +59,15 @@ func NewWHVCRouter(clk *sim.Clock, name string, nPorts, nVCs int, route RouteFun
 		arbs:   make([]*matchlib.Arbiter, nPorts),
 		route:  route,
 		vcMap:  vcMap,
+		name:   name,
 		clk:    clk,
 		sub:    clk.Sim().Tracer().Subject(name),
 	}
+	// A router moves flits data-dependently — which output a flit takes is
+	// a function of its destination — so the rate analysis must not write
+	// balance equations across it. Registering it as a switch actor breaks
+	// the SDF region here on purpose.
+	clk.Sim().Design().DeclareActor(name, sim.ActorSwitch, clk, sim.Rat{})
 	for i := 0; i < nPorts; i++ {
 		r.In[i] = make([]*connections.In[Flit], nVCs)
 		r.Out[i] = make([]*connections.Out[Flit], nVCs)
@@ -73,6 +80,19 @@ func NewWHVCRouter(clk *sim.Clock, name string, nPorts, nVCs int, route RouteFun
 	}
 	clk.Spawn(name+".whvc", func(th *sim.Thread) { r.run(th) })
 	clk.Sim().Component(name).Source(r.Stats.emit)
+	return r
+}
+
+// DeclareSplit records the expected fraction of this router's output
+// traffic leaving through port (num/den). The ratio is advisory: the
+// rate analysis reports it beside the port's channels but never uses it
+// to tighten a throughput bound, because measured traffic under a
+// hotspot pattern may concentrate entirely on one port.
+func (r *WHVCRouter) DeclareSplit(port int, num, den int64) *WHVCRouter {
+	if port < 0 || port >= r.nPorts {
+		panic(fmt.Sprintf("noc: split port %d out of range [0,%d)", port, r.nPorts))
+	}
+	r.clk.Sim().Design().DeclareSplit(r.name, fmt.Sprintf("out[%d]", port), sim.NewRat(num, den))
 	return r
 }
 

@@ -1,0 +1,71 @@
+package ratecheck
+
+import "repro/internal/sim"
+
+// Exact rational arithmetic over sim.Rat. Everything in this package is
+// integer math — rates must stay rational so diagnostics and bounds are
+// byte-stable across hosts (cmd/detvet forbids floating point here).
+// All helpers assume normalized positive operands (sim.NewRat output);
+// the zero "undeclared" Rat must be filtered by callers before any
+// arithmetic.
+
+// one is the unit rate: one token per cycle, one firing per cycle.
+var one = sim.Rat{Num: 1, Den: 1}
+
+func igcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// ratNew normalizes num/den to lowest terms; unlike sim.NewRat it skips
+// the positivity guard, for internal use on already-validated values.
+func ratNew(num, den int64) sim.Rat {
+	g := igcd(num, den)
+	return sim.Rat{Num: num / g, Den: den / g}
+}
+
+// ratMul multiplies with cross-cancellation first, so intermediate
+// products stay small and never overflow for realistic rates.
+func ratMul(a, b sim.Rat) sim.Rat {
+	g1 := igcd(a.Num, b.Den)
+	g2 := igcd(b.Num, a.Den)
+	return sim.Rat{Num: (a.Num / g1) * (b.Num / g2), Den: (a.Den / g2) * (b.Den / g1)}
+}
+
+// ratDiv divides a by b.
+func ratDiv(a, b sim.Rat) sim.Rat {
+	return ratMul(a, sim.Rat{Num: b.Den, Den: b.Num})
+}
+
+// ratCmp returns -1, 0, or +1 as a is less than, equal to, or greater
+// than b.
+func ratCmp(a, b sim.Rat) int {
+	l := a.Num * b.Den
+	r := b.Num * a.Den
+	switch {
+	case l < r:
+		return -1
+	case l > r:
+		return 1
+	}
+	return 0
+}
+
+// ratMin returns the smaller of a and b.
+func ratMin(a, b sim.Rat) sim.Rat {
+	if ratCmp(b, a) < 0 {
+		return b
+	}
+	return a
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/lint"
+	"repro/internal/ratecheck"
 	"repro/internal/soc"
 	"repro/internal/stats"
 	"repro/internal/verif"
@@ -55,6 +56,8 @@ func Execute(c *exp.Ctx, spec Spec, progress Progress) ([]byte, error) {
 		return runSim(spec)
 	case KindLint:
 		return runLint(spec)
+	case KindRateck:
+		return runRateck(spec)
 	case KindStallHunt:
 		return runStallHunt(c, spec, progress)
 	case KindQoR:
@@ -103,6 +106,7 @@ func findTest(name string, withFixtures bool) (soc.TestCase, error) {
 	cases := append(soc.Tests(), soc.ExtraTests()...)
 	if withFixtures {
 		cases = append(cases, soc.LintFixtures()...)
+		cases = append(cases, soc.RateFixtures()...)
 	}
 	for _, tc := range cases {
 		if tc.Name == name {
@@ -178,6 +182,39 @@ func runLint(spec Spec) ([]byte, error) {
 		Kind: KindLint, Design: spec.Test, Mode: spec.Mode, GALS: spec.GALS,
 		Summary: r.Summary(), Errors: r.Errors(), Warnings: r.Warnings(),
 		Diagnostics: json.RawMessage(bytes.TrimRight(diags.Bytes(), "\n")),
+	})
+}
+
+// rateckResult is the KindRateck body; the report blob is
+// ratecheck's WriteJSON output verbatim (struct-ordered, exact
+// rationals, no maps), so the body is byte-stable like every other
+// cacheable result.
+type rateckResult struct {
+	Kind     string          `json:"kind"`
+	Design   string          `json:"design"`
+	Mode     string          `json:"mode"`
+	GALS     bool            `json:"gals"`
+	Summary  string          `json:"summary"`
+	Errors   int             `json:"errors"`
+	Warnings int             `json:"warnings"`
+	Report   json.RawMessage `json:"report"`
+}
+
+func runRateck(spec Spec) ([]byte, error) {
+	tc, err := findTest(spec.Test, true)
+	if err != nil {
+		return nil, err
+	}
+	s, _ := tc.Build(simConfig(spec))
+	r := ratecheck.Check(s.Sim)
+	var report bytes.Buffer
+	if err := r.WriteJSON(&report); err != nil {
+		return nil, err
+	}
+	return marshalBody(rateckResult{
+		Kind: KindRateck, Design: spec.Test, Mode: spec.Mode, GALS: spec.GALS,
+		Summary: r.Summary(), Errors: r.Errors(), Warnings: r.Warnings(),
+		Report: json.RawMessage(bytes.TrimRight(report.Bytes(), "\n")),
 	})
 }
 

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestRateckJobCachedByteIdentity: the rateck kind is a first-class
+// cacheable job — same spec twice yields byte-identical bodies with the
+// second served from the content-addressed cache, and the body carries
+// the fixture's expected diagnostic.
+func TestRateckJobCachedByteIdentity(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	spec := `{"kind":"rateck","test":"badrate"}`
+
+	r1, body1 := post(t, ts.URL+"/jobs?wait=1", spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %s %s", r1.Status, body1)
+	}
+	if hc := r1.Header.Get("X-Cache"); hc != "miss" {
+		t.Fatalf("first submit X-Cache = %q, want miss", hc)
+	}
+	r2, body2 := post(t, ts.URL+"/jobs?wait=1", spec)
+	if hc := r2.Header.Get("X-Cache"); hc != "hit" {
+		t.Fatalf("second submit X-Cache = %q, want hit", hc)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached rateck result not byte-identical:\n%s\nvs\n%s", body1, body2)
+	}
+	for _, want := range []string{`"kind": "rateck"`, "RATE-1", "RATE-2", `"errors": 1`} {
+		if !bytes.Contains(body1, []byte(want)) {
+			t.Fatalf("rateck body missing %q: %s", want, body1)
+		}
+	}
+
+	_, mdata := get(t, ts.URL+"/metrics")
+	ms, err := stats.ParseJSON(mdata)
+	if err != nil {
+		t.Fatalf("bad /metrics payload: %v", err)
+	}
+	if hits := stats.Total(ms, "serve/cache", "hits"); hits != 1 {
+		t.Fatalf("serve/cache hits = %v, want 1", hits)
+	}
+}
+
+// TestRateckSpecNormalization: the rateck kind defaults and zeroes like
+// lint — foreign fields never fork the content address, and fixtures
+// are admitted by name.
+func TestRateckSpecNormalization(t *testing.T) {
+	sparse := Spec{Kind: KindRateck}
+	if err := sparse.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	noisy := Spec{Kind: KindRateck, Test: "memcpy", Mode: "tlm",
+		MaxCycles: 999, Stall: 0.5, Seed: 7, Messages: 3, Seeds: 4, Parallel: 2}
+	if err := noisy.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Hash() != noisy.Hash() {
+		t.Fatalf("foreign fields forked the hash:\n%s\nvs\n%s", sparse.Canonical(), noisy.Canonical())
+	}
+	lint := Spec{Kind: KindLint, Test: "memcpy"}
+	if err := lint.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if lint.Hash() == sparse.Hash() {
+		t.Fatal("rateck and lint of the same design share a content address")
+	}
+	for _, name := range []string{"badrate", "badbuf"} {
+		s := Spec{Kind: KindRateck, Test: name}
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("fixture %s rejected: %v", name, err)
+		}
+	}
+	bad := Spec{Kind: KindRateck, Test: "nope"}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}

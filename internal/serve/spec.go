@@ -15,6 +15,7 @@ import (
 const (
 	KindSim       = "sim"       // one SoC-level test (internal/soc)
 	KindLint      = "lint"      // static design-rule check of one design (internal/lint)
+	KindRateck    = "rateck"    // static communication-rate analysis of one design (internal/ratecheck)
 	KindStallHunt = "stallhunt" // §2.3 multi-seed stall-injection campaign (internal/verif)
 	KindQoR       = "qor"       // HLS/synthesis QoR table (internal/core)
 	KindFig6      = "fig6"      // TLM-vs-RTL cycle comparison (internal/soc)
@@ -61,11 +62,12 @@ type Spec struct {
 var simModes = map[string]bool{"tlm": true, "signal": true, "rtl": true}
 
 // knownTest reports whether name is a shipped SoC test; withFixtures
-// additionally admits the deliberately broken lint fixtures.
+// additionally admits the deliberately broken lint and rate fixtures.
 func knownTest(name string, withFixtures bool) bool {
 	cases := append(soc.Tests(), soc.ExtraTests()...)
 	if withFixtures {
 		cases = append(cases, soc.LintFixtures()...)
+		cases = append(cases, soc.RateFixtures()...)
 	}
 	for _, tc := range cases {
 		if tc.Name == name {
@@ -117,6 +119,23 @@ func (s *Spec) Normalize() error {
 		}
 		if !knownTest(s.Test, true) {
 			return fmt.Errorf("serve: unknown lint design %q", s.Test)
+		}
+		if s.Mode == "" {
+			s.Mode = "tlm"
+		}
+		if !simModes[s.Mode] {
+			return fmt.Errorf("serve: unknown mode %q", s.Mode)
+		}
+		s.MaxCycles, s.Stall, s.Seed, s.Messages, s.Seeds = 0, 0, 0, 0, 0
+	case KindRateck:
+		// Same surface as lint: one design, one clocking style. The mode
+		// is accepted for config symmetry even though rate declarations
+		// are mode-independent.
+		if s.Test == "" {
+			s.Test = "memcpy"
+		}
+		if !knownTest(s.Test, true) {
+			return fmt.Errorf("serve: unknown rateck design %q", s.Test)
 		}
 		if s.Mode == "" {
 			s.Mode = "tlm"

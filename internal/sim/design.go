@@ -37,6 +37,11 @@ type PortDecl struct {
 
 	Bound   bool   // set by connections.Bind when a channel attaches
 	Channel string // name of the channel the port is bound to
+
+	// Rate is the endpoint's declared token rate per actor firing for the
+	// static communication-rate pass (internal/ratecheck). The zero value
+	// means undeclared, which ratecheck treats as one token per firing.
+	Rate Rat
 }
 
 // String renders the endpoint as "path.port".
@@ -55,6 +60,120 @@ type ChannelDecl struct {
 	Terminated bool // intentional stub; exempt from dangling-endpoint lint
 	Prod       *PortDecl
 	Cons       *PortDecl
+}
+
+// Rat is an exact nonnegative rational, the number type of every rate
+// declaration and every ratecheck bound. Rates are rationals, never
+// floats, so diagnostics and throughput bounds render byte-identically
+// on every host (cmd/detvet enforces the no-float rule on the analysis
+// package). The zero value means "undeclared".
+type Rat struct {
+	Num int64 `json:"num"`
+	Den int64 `json:"den"`
+}
+
+// NewRat returns num/den reduced to lowest terms. Both arguments must be
+// positive; rate declarations have no meaningful zero or negative form.
+func NewRat(num, den int64) Rat {
+	if num <= 0 || den <= 0 {
+		panic("sim: rate must be a positive rational")
+	}
+	g := gcd64(num, den)
+	return Rat{Num: num / g, Den: den / g}
+}
+
+// IsZero reports whether the rational is the undeclared zero value.
+func (r Rat) IsZero() bool { return r.Num == 0 && r.Den == 0 }
+
+// String renders "num/den", or "num" when the denominator is 1.
+func (r Rat) String() string {
+	if r.IsZero() {
+		return "?"
+	}
+	if r.Den == 1 {
+		return itoa64(r.Num)
+	}
+	return itoa64(r.Num) + "/" + itoa64(r.Den)
+}
+
+// itoa64 is strconv.FormatInt(n, 10) without the import, keeping this
+// file's dependency set empty.
+func itoa64(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// ActorClass tells the rate analysis how a component moves tokens.
+type ActorClass int
+
+// Actor classes.
+const (
+	// ActorSDF is a synchronous-dataflow actor: each firing consumes and
+	// produces a fixed token count on every declared port, so the actor
+	// participates in the balance equations.
+	ActorSDF ActorClass = iota
+	// ActorSwitch moves tokens data-dependently (routers, arbiters, NIs):
+	// per-port rates are not fixed per firing, so the balance equations
+	// skip it and only the hardware port limit bounds its channels.
+	ActorSwitch
+)
+
+func (c ActorClass) String() string {
+	if c == ActorSwitch {
+		return "switch"
+	}
+	return "sdf"
+}
+
+// ActorDecl registers a component path as a rate-analysis actor.
+type ActorDecl struct {
+	Path  string
+	Class ActorClass
+	Clock *Clock
+
+	// Service is the actor's maximum firing rate in firings per cycle of
+	// its clock. Zero means unconstrained: the actor can fire every cycle
+	// its ports allow, and ratecheck derives no supply/demand diagnostic
+	// from it.
+	Service Rat
+}
+
+// SplitDecl is an advisory traffic-share declaration for one output port
+// of a switch actor (a NoC router's per-port split ratio). Ratecheck
+// reports the share alongside the port's channel but never uses it to
+// tighten a throughput bound — measured traffic under a hotspot pattern
+// may concentrate entirely on one port.
+type SplitDecl struct {
+	Path  string // actor path
+	Port  string // output port name
+	Ratio Rat    // expected fraction of the actor's output traffic
 }
 
 // SyncDecl records one clock-domain synchronizer (a GALS FIFO): the only
@@ -105,6 +224,8 @@ type Design struct {
 	syncs      []*SyncDecl
 	couplings  []Coupling
 	partitions []Partition
+	actors     []*ActorDecl
+	splits     []SplitDecl
 	names      map[string]string
 	collisions []Collision
 }
@@ -172,6 +293,30 @@ func (d *Design) Couplings() []Coupling { return d.couplings }
 func (d *Design) MarkPartition(path string, clk *Clock) {
 	d.partitions = append(d.partitions, Partition{Path: path, Clock: clk})
 }
+
+// DeclareActor registers the component at path as a rate-analysis actor
+// of the given class on clk. service is the maximum firing rate in
+// firings per cycle (the zero Rat leaves it unconstrained). Declaring
+// the same path twice records a name collision, like any other design
+// object.
+func (d *Design) DeclareActor(path string, class ActorClass, clk *Clock, service Rat) *ActorDecl {
+	a := &ActorDecl{Path: path, Class: class, Clock: clk, Service: service}
+	d.claim(path, class.String()+" actor")
+	d.actors = append(d.actors, a)
+	return a
+}
+
+// DeclareSplit records an advisory traffic-share ratio for one output
+// port of a switch actor; see SplitDecl.
+func (d *Design) DeclareSplit(path, port string, ratio Rat) {
+	d.splits = append(d.splits, SplitDecl{Path: path, Port: port, Ratio: ratio})
+}
+
+// Actors returns the declared rate-analysis actors in declaration order.
+func (d *Design) Actors() []*ActorDecl { return d.actors }
+
+// Splits returns the advisory split ratios in declaration order.
+func (d *Design) Splits() []SplitDecl { return d.splits }
 
 // Ports returns the declared endpoints in declaration order.
 func (d *Design) Ports() []*PortDecl { return d.ports }

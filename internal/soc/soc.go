@@ -223,6 +223,9 @@ func New(cfg Config, firmware []uint32) *SoC {
 		base := "soc/" + nodeName(i)
 		inj := connections.NewOut[noc.Packet]().Owned(clk, base, "inject")
 		ej := connections.NewIn[noc.Packet]().Owned(clk, base, "eject")
+		// Nodes issue and absorb traffic on program-driven schedules, so
+		// like the routers they bound any SDF region at their ports.
+		clk.Sim().Design().DeclareActor(base, sim.ActorSwitch, clk, sim.Rat{})
 		c1 := connections.Buffer(clk, base+"/inject", 2, inj, nis[i].PktIn, opts...)
 		c2 := connections.Buffer(clk, base+"/eject", 2, nis[i].PktOut, ej, opts...)
 		s.pktChans = append(s.pktChans,

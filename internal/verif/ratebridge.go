@@ -1,0 +1,136 @@
+package verif
+
+import (
+	"fmt"
+
+	"repro/internal/ratecheck"
+	"repro/internal/sim"
+)
+
+// This file is the static/dynamic cross-validation bridge: ratecheck
+// promises that every bound it reports is an upper bound on what the
+// simulation can do, and this bridge holds it to that. After a run,
+// CrossCheckRates reads the measured channel and synchronizer counters
+// out of the metrics registry and asserts none exceeds its static
+// bound. A violation is classified at the source:
+//
+//   - "design": the measurement beats the hardware port limit itself
+//     (more than one token per cycle through an LI channel, occupancy
+//     above capacity) — the channel accounting is broken, a real bug in
+//     the simulated design or kernel.
+//   - "analysis": the measurement is physically plausible but beats a
+//     declared-rate bound — ratecheck tightened a bound it had no right
+//     to, a bug in the static analysis or in the declarations.
+//
+// The comparison allows the transient slack a steady-state bound cannot
+// see: a channel can deliver its initial buffer fill plus one in-flight
+// token beyond rate x cycles, so the assertion is
+//
+//	transfers <= bound * cycles + capacity + 1
+//
+// in exact integer arithmetic (cross-multiplied; no float rounding can
+// fake a pass or a failure).
+
+// RateViolation is one measured counter exceeding a static bound.
+type RateViolation struct {
+	Object string // channel or synchronizer name
+	Kind   string // "design" or "analysis" (see classification above)
+	Detail string
+}
+
+func (v RateViolation) String() string {
+	return fmt.Sprintf("%s [%s bug] %s", v.Object, v.Kind, v.Detail)
+}
+
+// CrossCheckRates compares the simulator's post-run measurements against
+// the static result, returning every violation and the number of checks
+// performed (so a test can assert the bridge actually saw the design it
+// thinks it did). Call it only after the simulation has stopped.
+func CrossCheckRates(s *sim.Simulator, r *ratecheck.Result) ([]RateViolation, int) {
+	obs := map[[2]string]float64{}
+	for _, m := range s.Metrics().Snapshot() {
+		obs[[2]string{m.Path, m.Name}] = m.Value
+	}
+	var vs []RateViolation
+	checked := 0
+
+	for _, c := range s.Design().Channels() {
+		tf, ok := obs[[2]string{c.Name, "transfers"}]
+		if !ok {
+			continue // not a counter-bearing channel (never constructed)
+		}
+		checked++
+		transfers := uint64(tf)
+		cycles := c.Clock.Cycle()
+		cap := uint64(c.Capacity)
+		if cap < 1 {
+			cap = 1
+		}
+		slack := cap + 1
+
+		// Hardware port limit first: one token per cycle, full stop.
+		if transfers > cycles+slack {
+			vs = append(vs, RateViolation{
+				Object: c.Name, Kind: "design",
+				Detail: fmt.Sprintf("%d transfers in %d cycles beats the one-token-per-cycle port limit (+%d slack)",
+					transfers, cycles, slack),
+			})
+			continue
+		}
+		// Declared-rate bound: transfers*den <= num*cycles + slack*den.
+		b := r.ChannelBound(c.Name)
+		if transfers*uint64(b.Den) > uint64(b.Num)*cycles+slack*uint64(b.Den) {
+			vs = append(vs, RateViolation{
+				Object: c.Name, Kind: "analysis",
+				Detail: fmt.Sprintf("%d transfers in %d cycles beats the declared bound %s tok/cycle (+%d slack)",
+					transfers, cycles, b, slack),
+			})
+		}
+		// Occupancy can never exceed capacity in either accounting.
+		for _, key := range []string{"occupancy", "occupancy_mean"} {
+			if occ, ok := obs[[2]string{c.Name, key}]; ok && occ > float64(cap) {
+				vs = append(vs, RateViolation{
+					Object: c.Name, Kind: "design",
+					Detail: fmt.Sprintf("%s %g exceeds capacity %d", key, occ, cap),
+				})
+			}
+		}
+	}
+
+	// Synchronizers: one token per slow-side cycle. The slow side is the
+	// one that turned fewer cycles in the same wall-clock run.
+	for _, sy := range s.Design().Syncs() {
+		tf, ok := obs[[2]string{sy.Name, "transfers"}]
+		if !ok {
+			continue
+		}
+		checked++
+		transfers := uint64(tf)
+		slow, fast := sy.Prod.Cycle(), sy.Cons.Cycle()
+		if fast < slow {
+			slow, fast = fast, slow
+		}
+		slack := uint64(sy.Depth) + 1
+		if transfers > fast+slack {
+			// Beats the port limit of even the fast side: accounting bug.
+			vs = append(vs, RateViolation{
+				Object: sy.Name, Kind: "design",
+				Detail: fmt.Sprintf("%d transfers in %d fast-side cycles beats the per-edge port limit (+%d slack)",
+					transfers, fast, slack),
+			})
+		} else if transfers > slow+slack {
+			vs = append(vs, RateViolation{
+				Object: sy.Name, Kind: "analysis",
+				Detail: fmt.Sprintf("%d transfers in %d slow-side cycles beats the one-token-per-slow-cycle crossing bound (+%d slack)",
+					transfers, slow, slack),
+			})
+		}
+		if occ, ok := obs[[2]string{sy.Name, "occupancy"}]; ok && occ > float64(sy.Depth) {
+			vs = append(vs, RateViolation{
+				Object: sy.Name, Kind: "design",
+				Detail: fmt.Sprintf("occupancy %g exceeds depth %d", occ, sy.Depth),
+			})
+		}
+	}
+	return vs, checked
+}

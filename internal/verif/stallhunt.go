@@ -140,7 +140,16 @@ const DiagnosisHorizon = 1000
 // RunStallHunt runs the seeded-bug testbench. pStall = 0 reproduces
 // nominal timing; pStall > 0 enables the paper's stall injection.
 func RunStallHunt(pStall float64, seed int64, messages int) StallHuntResult {
-	return runStallHunt(pStall, seed, messages, nil)
+	return runStallHunt(pStall, seed, messages, nil, nil)
+}
+
+// RunStallHuntInspect runs the testbench and, after the simulation
+// stops, hands the still-live simulator to inspect — the hook the
+// static/dynamic cross-validation uses to compare measured channel
+// counters against ratecheck's bounds without re-plumbing the
+// testbench. The hook sees final state only; it cannot perturb timing.
+func RunStallHuntInspect(pStall float64, seed int64, messages int, inspect func(*sim.Simulator)) StallHuntResult {
+	return runStallHunt(pStall, seed, messages, nil, inspect)
 }
 
 // RunStallHuntTraced runs the same testbench with channel-level tracing
@@ -151,10 +160,10 @@ func RunStallHunt(pStall float64, seed int64, messages int) StallHuntResult {
 // same arguments.
 func RunStallHuntTraced(pStall float64, seed int64, messages int) (StallHuntResult, *trace.Recorder) {
 	rec := trace.NewRecorder()
-	return runStallHunt(pStall, seed, messages, rec), rec
+	return runStallHunt(pStall, seed, messages, rec, nil), rec
 }
 
-func runStallHunt(pStall float64, seed int64, messages int, rec *trace.Recorder) StallHuntResult {
+func runStallHunt(pStall float64, seed int64, messages int, rec *trace.Recorder, inspect func(*sim.Simulator)) StallHuntResult {
 	s := sim.New()
 	if rec != nil {
 		s.Arm(rec)
@@ -264,6 +273,9 @@ func runStallHunt(pStall float64, seed int64, messages int, rec *trace.Recorder)
 		return nil
 	}); err != nil {
 		return StallHuntResult{Errors: []string{err.Error()}}
+	}
+	if inspect != nil {
+		inspect(s)
 	}
 	return StallHuntResult{
 		Errors:        sb.Drain(),
