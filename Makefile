@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench vet lint rateck serve-smoke fleet-smoke fleet-soak
+.PHONY: build test check bench vet lint rateck mc serve-smoke fleet-smoke fleet-soak
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,12 @@ test: build
 # over the untraced primitives), and hold the compiled RTL backend's
 # throughput floor over the interpreter.
 check: vet
-	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve ./internal/fleet ./internal/fleet/wire ./internal/ratecheck
+	$(GO) test -race ./internal/sim ./internal/psim ./internal/connections ./internal/gals ./internal/exp ./internal/trace ./internal/serve ./internal/fleet ./internal/fleet/wire ./internal/ratecheck ./internal/mc
 	SOC_TRACE=1 $(GO) test ./internal/soc
 	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestDisarmedOverheadGuard -v ./internal/connections
 	RTL_PERF_GATE=1 $(GO) test -count=1 -run TestRTLPerfGate -v .
 	$(MAKE) rateck
+	$(MAKE) mc
 	$(MAKE) serve-smoke
 	$(MAKE) fleet-smoke
 
@@ -61,3 +62,13 @@ lint:
 rateck:
 	$(GO) run ./cmd/socsim -test all -rateck
 	$(GO) run ./cmd/socsim -test all -gals -rateck
+
+# Bounded model check: every shipped design's declared channel graph,
+# plus both clean examples, must verify; both seeded-bug fixtures must
+# be caught (the ! lines fail the build if the checker goes blind).
+mc:
+	$(GO) run ./cmd/socsim -test all -mc
+	$(GO) run ./cmd/socsim -test mcserdes -mc
+	$(GO) run ./cmd/socsim -test mcgals -mc
+	! $(GO) run ./cmd/socsim -test mcdeadlock -mc
+	! $(GO) run ./cmd/socsim -test mcbufeqv -mc

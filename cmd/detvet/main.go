@@ -58,14 +58,22 @@ var checkedDirs = []string{
 	// the stricter no-float contract below: every bound it publishes is
 	// an exact rational.
 	"internal/ratecheck",
+	// The bounded model checker: a proof must mean the same thing on
+	// every host, so the search order, the state hashing, and the
+	// rendered counterexamples are all under the determinism contract —
+	// and under no-float, since its state space is packed integers.
+	"internal/mc",
 }
 
 // floatFreeDirs are checked packages additionally barred from floating
 // point. ratecheck's whole contract is exact rational arithmetic — a
 // float64 in a bound computation rounds, and a rounded bound is no
-// longer a sound bound.
+// longer a sound bound. mc's verdicts are reachability facts over
+// packed bitvector states; floats have nothing to contribute there
+// either.
 var floatFreeDirs = map[string]bool{
 	"internal/ratecheck": true,
+	"internal/mc":        true,
 }
 
 // randAllowed are the math/rand selectors that construct or name seeded

@@ -7,6 +7,7 @@
 //	socctl submit -kind stallhunt -stall 0.3 -messages 200 -seeds 8 -watch
 //	socctl submit -spec '{"kind":"lint","test":"badcdc"}'
 //	socctl rateck conv1d
+//	socctl verify mcserdes
 //	socctl watch job-3
 //	socctl result job-3
 //	socctl jobs
@@ -40,6 +41,8 @@ commands:
            result, -watch streams NDJSON progress then prints the result
   rateck   run the static communication-rate check on one design:
            submit {"kind":"rateck"}, stream progress, print the report
+  verify   bounded-model-check one design's channel graph: submit
+           {"kind":"verify"}, stream per-depth progress, print the report
   watch    stream a job's NDJSON progress events
   result   fetch a finished job's result body
   jobs     list jobs in submission order
@@ -66,6 +69,8 @@ func main() {
 		err = cmdSubmit(base, args)
 	case "rateck":
 		err = cmdRateck(base, args)
+	case "verify":
+		err = cmdVerify(base, args)
 	case "watch":
 		err = cmdWatch(base, args)
 	case "result":
@@ -90,7 +95,7 @@ func main() {
 func cmdSubmit(base string, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	specJSON := fs.String("spec", "", "raw spec JSON (overrides the field flags)")
-	kind := fs.String("kind", "sim", "job kind: sim|lint|stallhunt|qor|fig6")
+	kind := fs.String("kind", "sim", "job kind: sim|lint|rateck|verify|stallhunt|qor|fig6")
 	test := fs.String("test", "", "SoC test / lint design name")
 	mode := fs.String("mode", "", "channel model: tlm|signal|rtl")
 	gals := fs.Bool("gals", false, "per-partition clock generators")
@@ -100,6 +105,7 @@ func cmdSubmit(base string, args []string) error {
 	messages := fs.Int("messages", 0, "stallhunt messages per producer")
 	seeds := fs.Int("seeds", 0, "stallhunt campaign width")
 	parallel := fs.Int("parallel", 0, "campaign shard width (not part of the content hash)")
+	depth := fs.Int("depth", 0, "verify unrolling bound (0 = kind default)")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its result")
 	watch := fs.Bool("watch", false, "stream progress events, then print the result")
 	fs.Parse(args)
@@ -141,6 +147,9 @@ func cmdSubmit(base string, args []string) error {
 		}
 		if s.Parallel != 0 {
 			fmt.Fprintf(&buf, `,"parallel":%d`, s.Parallel)
+		}
+		if *depth != 0 {
+			fmt.Fprintf(&buf, `,"depth":%d`, *depth)
 		}
 		buf.WriteString("}")
 		spec = buf.Bytes()
@@ -223,6 +232,60 @@ func cmdRateck(base string, args []string) error {
 	}
 	// A cached repeat is already done — skip the stream, which would
 	// otherwise just replay the recorded events, and print the result.
+	if bytes.Contains(body, []byte(`"cached": true`)) || bytes.Contains(body, []byte(`"cached":true`)) {
+		fmt.Printf("cached result (job %s):\n", id)
+		return fetch(base+"/jobs/"+id+"/result", os.Stdout)
+	}
+	fmt.Printf("submitted job %s\n", id)
+	if err := streamEvents(base, id); err != nil {
+		return err
+	}
+	return fetch(base+"/jobs/"+id+"/result", os.Stdout)
+}
+
+// cmdVerify is the one-shot front door for the bounded model checker:
+// it submits a verify job for the named design, streams the daemon's
+// per-depth NDJSON progress, and prints the verdict report. Like
+// rateck, a resubmission hits the content-addressed cache
+// byte-identically — a proof is a perfectly cacheable artifact.
+func cmdVerify(base string, args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	mode := fs.String("mode", "", "channel model: tlm|signal|rtl")
+	galsCk := fs.Bool("gals", false, "per-partition clock generators")
+	depth := fs.Int("depth", 0, "unrolling bound (0 = server default 64)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: socctl verify [-mode m] [-gals] [-depth k] <design>")
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"kind":"verify","test":%q`, fs.Arg(0))
+	if *mode != "" {
+		fmt.Fprintf(&buf, `,"mode":%q`, *mode)
+	}
+	if *galsCk {
+		buf.WriteString(`,"gals":true`)
+	}
+	if *depth > 0 {
+		fmt.Fprintf(&buf, `,"depth":%d`, *depth)
+	}
+	buf.WriteString("}")
+
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	id, err := fieldFromJSON(body, "id")
+	if err != nil {
+		return err
+	}
 	if bytes.Contains(body, []byte(`"cached": true`)) || bytes.Contains(body, []byte(`"cached":true`)) {
 		fmt.Printf("cached result (job %s):\n", id)
 		return fetch(base+"/jobs/"+id+"/result", os.Stdout)

@@ -11,6 +11,7 @@
 //	socsim -test memcpy -trace            # backpressure/deadlock report
 //	socsim -test all -lint                # static design-rule check, no simulation
 //	socsim -test all -rateck              # static communication-rate check, no simulation
+//	socsim -test mcserdes -mc             # bounded model check, no simulation
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/connections"
 	"repro/internal/lint"
+	"repro/internal/mc"
 	"repro/internal/ratecheck"
 	"repro/internal/soc"
 	"repro/internal/trace"
@@ -45,6 +47,10 @@ func main() {
 	lintJSON := flag.String("lintjson", "", "write the combined lint diagnostics as JSON to this file (implies -lint)")
 	rateF := flag.Bool("rateck", false, "statically check communication rates (SDF balance, buffer sizing, throughput bounds) and exit without simulating")
 	rateJSON := flag.String("rateckjson", "", "write the combined rate diagnostics as JSON to this file (implies -rateck)")
+	mcF := flag.Bool("mc", false, "bounded model check the selected designs (deadlock-freedom + sim/signal equivalence on the LI channel graph) and exit without simulating")
+	mcJSON := flag.String("mcjson", "", "write the model-checking result as JSON to this file (implies -mc)")
+	mcVCD := flag.String("mcvcd", "", "replay the first counterexample as a VCD waveform to this file (implies -mc)")
+	mcDepth := flag.Int("mcdepth", 0, "unrolling bound for -mc (0 = default 64)")
 	flag.Parse()
 
 	cfg := soc.DefaultConfig()
@@ -77,6 +83,12 @@ func main() {
 	}
 	if *rateF {
 		os.Exit(runRateck(cfg, *testName, *rateJSON))
+	}
+	if *mcJSON != "" || *mcVCD != "" {
+		*mcF = true
+	}
+	if *mcF {
+		os.Exit(runMC(cfg, *testName, *mcJSON, *mcVCD, *mcDepth))
 	}
 
 	any := false
@@ -210,6 +222,75 @@ func runLint(cfg soc.Config, testName, jsonPath string) int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// runMC builds each selected design and bounded-model-checks its
+// latency-insensitive channel graph for deadlock-freedom and
+// sim/signal-accurate equivalence; nothing is simulated. The clean
+// examples (soc.MCExamples) and the seeded-bug fixtures
+// (soc.MCFixtures) are selectable by exact name but excluded from
+// "all", so "-test all -mc" asserts every shipped design's declared
+// subgraph is safe within the bound. Exit code 1 when any selected
+// design has an error-severity diagnostic.
+func runMC(cfg soc.Config, testName, jsonPath, vcdPath string, depth int) int {
+	cases := append(soc.Tests(), soc.ExtraTests()...)
+	if testName != "all" {
+		cases = append(cases, soc.MCExamples()...)
+		cases = append(cases, soc.MCFixtures()...)
+	}
+	any, failed := false, false
+	for _, tc := range cases {
+		if testName != "all" && tc.Name != testName {
+			continue
+		}
+		any = true
+		s, _ := tc.Build(cfg)
+		r := mc.Check(s.Sim, mc.Options{Depth: depth})
+		fmt.Printf("%s:\n", tc.Name)
+		r.WriteTree(os.Stdout)
+		if r.Errors() > 0 {
+			failed = true
+		}
+		if jsonPath != "" {
+			f, err := os.Create(jsonPath)
+			if err == nil {
+				err = r.WriteJSON(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "socsim:", err)
+				return 1
+			}
+			fmt.Printf("wrote %s\n", jsonPath)
+		}
+		if vcdPath != "" && len(r.Counterexamples) > 0 {
+			rec := trace.NewRecorder()
+			r.Replay(rec, r.Counterexamples[0])
+			f, err := os.Create(vcdPath)
+			var samples, changes uint64
+			if err == nil {
+				samples, changes, err = rec.WriteVCD(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "socsim:", err)
+				return 1
+			}
+			fmt.Printf("wrote %s (%d samples, %d changes)\n", vcdPath, samples, changes)
+		}
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "socsim: unknown test %q\n", testName)
+		return 2
 	}
 	if failed {
 		return 1

@@ -22,11 +22,12 @@ import (
 // GatewayConfig sizes the gateway. Zero values take the defaults noted
 // on each field.
 type GatewayConfig struct {
-	Name       string                           // fleet name sent in registration acks (default "socgw")
-	DeadAfter  time.Duration                    // silence window before a worker is declared dead (default 5s)
-	RetryEvery time.Duration                    // parked-job redispatch tick (default 250ms)
-	MaxRetries int                              // failovers per job before it fails (default 5)
-	Logf       func(format string, args ...any) // optional logger
+	Name         string                           // fleet name sent in registration acks (default "socgw")
+	DeadAfter    time.Duration                    // silence window before a worker is declared dead (default 5s)
+	RetryEvery   time.Duration                    // parked-job redispatch tick (default 250ms)
+	MaxRetries   int                              // failovers per job before it fails (default 5)
+	CacheEntries int                              // gateway-side result cache entries (default 128)
+	Logf         func(format string, args ...any) // optional logger
 }
 
 // Gateway fronts a fleet of socd workers: it owns the client-facing
@@ -51,11 +52,22 @@ type Gateway struct {
 	wg       sync.WaitGroup // conn handlers + redispatch ticker
 	stopTick chan struct{}
 
+	// Gateway-side result cache: completed bodies keyed by the spec's
+	// content address, FIFO-bounded. Results are deterministic functions
+	// of the canonical spec, so a stored body is byte-identical to
+	// whatever a worker would recompute — the gateway can answer a
+	// repeat itself when the job's preferred owner has no room, instead
+	// of queueing the round-trip or shedding a 429.
+	cacheMu    sync.Mutex
+	cacheBody  map[uint64][]byte
+	cacheOrder []uint64
+
 	// Counters read lock-free by stats sources and handlers.
 	submitted, completed, failed, canceled atomic.Int64
 	registered, deaths, resubmitted        atomic.Int64
 	routedAround, shedsSeen, parked        atomic.Int64
 	duplicateResults, workerCacheHits      atomic.Int64
+	gatewayCacheHits                       atomic.Int64
 	framesIn, framesOut                    atomic.Int64
 	bytesIn, bytesOut                      atomic.Int64
 }
@@ -116,6 +128,9 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 5
 	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -123,9 +138,10 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		cfg:      cfg,
 		reg:      stats.New(),
 		mux:      http.NewServeMux(),
-		workers:  make(map[string]*remoteWorker),
-		jobs:     make(map[string]*gwJob),
-		stopTick: make(chan struct{}),
+		workers:   make(map[string]*remoteWorker),
+		jobs:      make(map[string]*gwJob),
+		cacheBody: make(map[uint64][]byte),
+		stopTick:  make(chan struct{}),
 	}
 	g.registerStats()
 	g.routes()
@@ -160,6 +176,7 @@ func (g *Gateway) registerStats() {
 		emit("canceled", float64(g.canceled.Load()))
 		emit("completed", float64(g.completed.Load()))
 		emit("failed", float64(g.failed.Load()))
+		emit("gateway_cache_hits", float64(g.gatewayCacheHits.Load()))
 		emit("in_flight", float64(inFlight))
 		emit("parked", float64(pending))
 		emit("submitted", float64(g.submitted.Load()))
@@ -385,6 +402,7 @@ func (g *Gateway) handleResult(rw *remoteWorker, m *wire.Result) {
 		if m.Cached {
 			g.workerCacheHits.Add(1)
 		}
+		g.cachePut(j.hash, m.Body)
 	case wire.StatusCanceled:
 		// The worker canceled (drain, timeout-free cancellation) rather
 		// than computed an answer; the work itself is still viable on
@@ -430,6 +448,52 @@ func (g *Gateway) handleShed(rw *remoteWorker, m *wire.Shed) {
 	g.routedAround.Add(1)
 	g.cfg.Logf("fleet: %s shed by %s: rerouting", j.id, rw.name)
 	g.redispatch(j)
+}
+
+// ---- gateway result cache ----
+
+// cachePut stores a completed body under its spec hash, evicting the
+// oldest entry once the bound is reached. Re-storing an existing hash
+// is a no-op: results are content-addressed, so the bytes are already
+// identical and the original's eviction age stands.
+func (g *Gateway) cachePut(hash uint64, body []byte) {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	if _, ok := g.cacheBody[hash]; ok {
+		return
+	}
+	for len(g.cacheOrder) >= g.cfg.CacheEntries {
+		delete(g.cacheBody, g.cacheOrder[0])
+		g.cacheOrder = g.cacheOrder[1:]
+	}
+	g.cacheBody[hash] = body
+	g.cacheOrder = append(g.cacheOrder, hash)
+}
+
+func (g *Gateway) cacheGet(hash uint64) ([]byte, bool) {
+	g.cacheMu.Lock()
+	defer g.cacheMu.Unlock()
+	body, ok := g.cacheBody[hash]
+	return body, ok
+}
+
+// preferredUnavailable reports whether the rendezvous-preferred owner
+// for j cannot take it right now: no workers at all, the owner is
+// saturated, or it already shed this job. That is the moment a cached
+// repeat is worth answering from the gateway — when the owner is free,
+// forwarding is as fast and keeps the worker's own LRU warm.
+func (g *Gateway) preferredUnavailable(j *gwJob) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.workers) == 0 {
+		return true
+	}
+	names := make([]string, 0, len(g.workers))
+	for name := range g.workers { //detvet:ok RankOwners sorts by weight below
+		names = append(names, name)
+	}
+	pref := g.workers[RankOwners(j.hash, names)[0]]
+	return (pref.capacity > 0 && pref.depth >= pref.capacity) || j.shedBy[pref.name]
 }
 
 // ---- dispatch ----
@@ -641,6 +705,33 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	g.jobs[j.id] = j
 	g.order = append(g.order, j.id)
 	g.mu.Unlock()
+
+	// A repeat of a completed spec whose preferred owner has no room is
+	// answered from the gateway's own result cache: byte-identical to a
+	// worker round-trip (results are deterministic in the canonical
+	// spec), with no queueing behind the saturated owner and no 429.
+	if body, ok := g.cacheGet(j.hash); ok && g.preferredUnavailable(j) {
+		g.mu.Lock()
+		j.status = "done"
+		j.body = body
+		j.cached = true
+		g.mu.Unlock()
+		g.completed.Add(1)
+		g.gatewayCacheHits.Add(1)
+		j.log.Publish(serve.Event{Event: "queued", Label: j.kind})
+		j.log.Publish(serve.Event{Event: "done", Cached: true})
+		close(j.done)
+		g.cfg.Logf("fleet: %s %s served from gateway cache [%s]",
+			j.id, j.kind, serve.HashString(j.hash))
+		if wait {
+			g.writeResult(w, j)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: j.id, Hash: serve.HashString(j.hash), Status: "done", Cached: true,
+		})
+		return
+	}
 
 	if err := g.dispatch(j); err != nil {
 		// Aggregated shed: the job is refused only when NO worker can

@@ -237,6 +237,56 @@ func TestDeterministicFailureNotRetried(t *testing.T) {
 	}
 }
 
+// TestGatewayCacheServesSaturatedRepeat: a repeat of a completed spec
+// whose owning worker is saturated is answered byte-identically from
+// the gateway's own result cache — no submit frame reaches the worker,
+// no 429 reaches the client, and the hit is counted in fleet stats.
+func TestGatewayCacheServesSaturatedRepeat(t *testing.T) {
+	_, ts, ln := testGateway(t, GatewayConfig{})
+	fw := dialFake(t, ln.Addr().String(), "cache-w1", 1)
+	waitRegistered(t, ts.URL, 1)
+	spec := `{"kind":"fleettest","messages":23}`
+
+	done := make(chan []byte, 1)
+	go func() {
+		_, body, _ := submitWait(t, ts.URL, spec)
+		done <- body
+	}()
+	sub := fw.expectSubmit()
+	fw.send(&wire.Result{Job: sub.Job, Status: wire.StatusDone, Body: []byte(`{"r":42}`)})
+	first := <-done
+
+	// The worker reports itself saturated; the optimistic dispatch bump
+	// is already at capacity, but the heartbeat makes it explicit.
+	fw.send(&wire.Heartbeat{Depth: 1, InFlight: 1, Capacity: 1})
+	waitFor(t, "saturation heartbeat applied", func() bool {
+		ws := getWorkers(t, ts.URL).Workers
+		return len(ws) == 1 && ws[0].Depth >= 1
+	})
+
+	code, second, hdr := submitWait(t, ts.URL, spec)
+	if code != http.StatusOK {
+		t.Fatalf("repeat against saturated fleet: status %d: %s", code, second)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("gateway cache not byte-identical:\n%s\nvs\n%s", first, second)
+	}
+	if hc := hdr.Get("X-Cache"); hc != "hit" {
+		t.Fatalf("repeat X-Cache = %q, want hit", hc)
+	}
+	// The saturated worker must never have seen a second submit frame.
+	fw.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if m, _, err := wire.ReadMsg(fw.conn, nil); err == nil {
+		t.Fatalf("saturated worker received %v for a cached repeat", m)
+	}
+	if got := metric(t, ts.URL, "fleet/jobs", "gateway_cache_hits"); got != 1 {
+		t.Errorf("gateway_cache_hits = %v, want 1", got)
+	}
+	if got := metric(t, ts.URL, "fleet/jobs", "completed"); got != 2 {
+		t.Errorf("completed = %v, want 2 (cached repeat still completes a job)", got)
+	}
+}
+
 // TestDrainingRefusesSubmissions: after BeginDrain, submissions get
 // 503 while registered workers stay connected.
 func TestDrainingRefusesSubmissions(t *testing.T) {

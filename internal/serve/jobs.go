@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/lint"
+	"repro/internal/mc"
 	"repro/internal/ratecheck"
 	"repro/internal/soc"
 	"repro/internal/stats"
@@ -58,6 +59,8 @@ func Execute(c *exp.Ctx, spec Spec, progress Progress) ([]byte, error) {
 		return runLint(spec)
 	case KindRateck:
 		return runRateck(spec)
+	case KindVerify:
+		return runVerify(spec, progress)
 	case KindStallHunt:
 		return runStallHunt(c, spec, progress)
 	case KindQoR:
@@ -107,6 +110,8 @@ func findTest(name string, withFixtures bool) (soc.TestCase, error) {
 	if withFixtures {
 		cases = append(cases, soc.LintFixtures()...)
 		cases = append(cases, soc.RateFixtures()...)
+		cases = append(cases, soc.MCExamples()...)
+		cases = append(cases, soc.MCFixtures()...)
 	}
 	for _, tc := range cases {
 		if tc.Name == name {
@@ -214,6 +219,54 @@ func runRateck(spec Spec) ([]byte, error) {
 	return marshalBody(rateckResult{
 		Kind: KindRateck, Design: spec.Test, Mode: spec.Mode, GALS: spec.GALS,
 		Summary: r.Summary(), Errors: r.Errors(), Warnings: r.Warnings(),
+		Report: json.RawMessage(bytes.TrimRight(report.Bytes(), "\n")),
+	})
+}
+
+// verifyResult is the KindVerify body; the report blob is mc's
+// WriteJSON output verbatim (struct-ordered, counterexamples included),
+// so the body is byte-stable like every other cacheable result.
+type verifyResult struct {
+	Kind        string          `json:"kind"`
+	Design      string          `json:"design"`
+	Mode        string          `json:"mode"`
+	GALS        bool            `json:"gals"`
+	Depth       int             `json:"depth"`
+	Deadlock    string          `json:"deadlock"`
+	Equivalence string          `json:"equivalence"`
+	Summary     string          `json:"summary"`
+	Errors      int             `json:"errors"`
+	Warnings    int             `json:"warnings"`
+	Report      json.RawMessage `json:"report"`
+}
+
+// runVerify bounded-model-checks one design's latency-insensitive
+// channel graph. The search reports each completed unroll depth through
+// the progress sink, so NDJSON watchers see the frontier advance.
+func runVerify(spec Spec, progress Progress) ([]byte, error) {
+	tc, err := findTest(spec.Test, true)
+	if err != nil {
+		return nil, err
+	}
+	s, _ := tc.Build(simConfig(spec))
+	r := mc.Check(s.Sim, mc.Options{
+		Depth: spec.Depth,
+		Progress: func(depth, states int) {
+			if progress != nil {
+				progress(depth, spec.Depth, fmt.Sprintf("depth %d (%d states)", depth, states))
+			}
+		},
+	})
+	var report bytes.Buffer
+	if err := r.WriteJSON(&report); err != nil {
+		return nil, err
+	}
+	return marshalBody(verifyResult{
+		Kind: KindVerify, Design: spec.Test, Mode: spec.Mode, GALS: spec.GALS,
+		Depth:       spec.Depth,
+		Deadlock:    string(r.Deadlock.Verdict),
+		Equivalence: string(r.Equivalence.Verdict),
+		Summary:     r.Summary(), Errors: r.Errors(), Warnings: r.Warnings(),
 		Report: json.RawMessage(bytes.TrimRight(report.Bytes(), "\n")),
 	})
 }

@@ -19,6 +19,7 @@ const (
 	KindStallHunt = "stallhunt" // §2.3 multi-seed stall-injection campaign (internal/verif)
 	KindQoR       = "qor"       // HLS/synthesis QoR table (internal/core)
 	KindFig6      = "fig6"      // TLM-vs-RTL cycle comparison (internal/soc)
+	KindVerify    = "verify"    // bounded model check of one design's LI channel graph (internal/mc)
 )
 
 // Spec is the wire form of a job request. One flat struct covers every
@@ -56,18 +57,26 @@ type Spec struct {
 	// only the fact that the epoch-quantized engine ran, not the width:
 	// partitions=2 and partitions=8 are the same content address.
 	Partitions int `json:"partitions,omitempty"`
+
+	// Depth is the verify kind's unrolling bound. Like Partitions it is
+	// appended to the canonical encoding only when set, so every spec
+	// hash minted before the verify kind existed is unchanged.
+	Depth int `json:"depth,omitempty"`
 }
 
 // simModes are the accepted channel models, matching socsim -mode.
 var simModes = map[string]bool{"tlm": true, "signal": true, "rtl": true}
 
 // knownTest reports whether name is a shipped SoC test; withFixtures
-// additionally admits the deliberately broken lint and rate fixtures.
+// additionally admits the static-analysis designs: the deliberately
+// broken lint/rate/mc fixtures and the minimal mc examples.
 func knownTest(name string, withFixtures bool) bool {
 	cases := append(soc.Tests(), soc.ExtraTests()...)
 	if withFixtures {
 		cases = append(cases, soc.LintFixtures()...)
 		cases = append(cases, soc.RateFixtures()...)
+		cases = append(cases, soc.MCExamples()...)
+		cases = append(cases, soc.MCFixtures()...)
 	}
 	for _, tc := range cases {
 		if tc.Name == name {
@@ -144,6 +153,26 @@ func (s *Spec) Normalize() error {
 			return fmt.Errorf("serve: unknown mode %q", s.Mode)
 		}
 		s.MaxCycles, s.Stall, s.Seed, s.Messages, s.Seeds = 0, 0, 0, 0, 0
+	case KindVerify:
+		// Same one-design surface as lint/rateck, plus the unrolling
+		// bound. The mode is accepted for config symmetry even though the
+		// abstract channel model is mode-independent.
+		if s.Test == "" {
+			s.Test = "mcserdes"
+		}
+		if !knownTest(s.Test, true) {
+			return fmt.Errorf("serve: unknown verify design %q", s.Test)
+		}
+		if s.Mode == "" {
+			s.Mode = "tlm"
+		}
+		if !simModes[s.Mode] {
+			return fmt.Errorf("serve: unknown mode %q", s.Mode)
+		}
+		if s.Depth <= 0 {
+			s.Depth = 64
+		}
+		s.MaxCycles, s.Stall, s.Seed, s.Messages, s.Seeds = 0, 0, 0, 0, 0
 	case KindStallHunt:
 		if s.Stall == 0 {
 			s.Stall = 0.3
@@ -187,6 +216,9 @@ func (s *Spec) Normalize() error {
 	if s.Kind != KindSim {
 		s.Partitions = 0 // only the sim runner reads it; don't fork hashes
 	}
+	if s.Kind != KindVerify {
+		s.Depth = 0 // only the verify runner reads it; don't fork hashes
+	}
 	if s.Parallel < 0 {
 		s.Parallel = 0
 	}
@@ -224,6 +256,14 @@ func (s *Spec) Canonical() []byte {
 	// width is load-balancing, not content — like Parallel above).
 	if s.Partitions > 0 {
 		b.WriteString(`,"partitions":1`)
+	}
+	// Same append-only discipline for the verify bound: present only when
+	// the verify kind set it, so pre-verify spec hashes never move. The
+	// bound is content (a depth-64 proof and a depth-8 proof are different
+	// results), so unlike partitions the value itself is encoded.
+	if s.Depth > 0 {
+		b.WriteString(`,"depth":`)
+		b.WriteString(strconv.Itoa(s.Depth))
 	}
 	b.WriteString("}")
 	return []byte(b.String())

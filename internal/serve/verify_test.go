@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// TestSpecHashesUnchangedByVerifyKind pins the content addresses of the
+// pre-verify job kinds. The verify kind's Depth field is appended to the
+// canonical encoding only when set, so introducing it must not move a
+// single existing hash — any drift here silently invalidates every
+// worker's result cache across a mixed-version fleet.
+func TestSpecHashesUnchangedByVerifyKind(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Kind: KindSim}, "5683b2fddb75ba97"},
+		{Spec{Kind: KindSim, GALS: true}, "0a9311049c386360"},
+		{Spec{Kind: KindSim, Test: "conv1d", Mode: "rtl"}, "d25297958e466726"},
+		{Spec{Kind: KindLint}, "35577e24f660364e"},
+		{Spec{Kind: KindRateck}, "4cb7522ac574a479"},
+		{Spec{Kind: KindRateck, Test: "badrate"}, "e526b528b7ac1369"},
+		{Spec{Kind: KindStallHunt}, "be43ecedcbb38544"},
+		{Spec{Kind: KindQoR}, "1ecf1d832032112d"},
+		{Spec{Kind: KindFig6}, "cbccb031ab5bfe16"},
+	}
+	for _, tc := range cases {
+		s := tc.spec
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("%+v: %v", tc.spec, err)
+		}
+		if got := HashString(s.Hash()); got != tc.want {
+			t.Errorf("%s spec hash drifted: got %s, want %s (canonical %s)",
+				tc.spec.Kind, got, tc.want, s.Canonical())
+		}
+	}
+}
+
+// TestVerifySpecNormalization: the verify kind defaults and zeroes like
+// lint/rateck plus the depth bound; foreign fields never fork the
+// content address, Depth is foreign to every other kind, and both the
+// mc examples and the seeded fixtures are admitted by name.
+func TestVerifySpecNormalization(t *testing.T) {
+	sparse := Spec{Kind: KindVerify}
+	if err := sparse.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Test != "mcserdes" || sparse.Depth != 64 {
+		t.Fatalf("verify defaults: test=%q depth=%d, want mcserdes/64", sparse.Test, sparse.Depth)
+	}
+	noisy := Spec{Kind: KindVerify, Test: "mcserdes", Mode: "tlm", Depth: 64,
+		MaxCycles: 999, Stall: 0.5, Seed: 7, Messages: 3, Seeds: 4, Parallel: 2, Partitions: 3}
+	if err := noisy.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Hash() != noisy.Hash() {
+		t.Fatalf("foreign fields forked the hash:\n%s\nvs\n%s", sparse.Canonical(), noisy.Canonical())
+	}
+	deeper := Spec{Kind: KindVerify, Depth: 32}
+	if err := deeper.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if deeper.Hash() == sparse.Hash() {
+		t.Fatal("the unrolling bound is result-relevant and must fork the content address")
+	}
+	simWithDepth := Spec{Kind: KindSim, Depth: 64}
+	if err := simWithDepth.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if simWithDepth.Depth != 0 {
+		t.Fatalf("Depth is foreign to sim, got %d after Normalize", simWithDepth.Depth)
+	}
+	for _, name := range []string{"mcserdes", "mcgals", "mcdeadlock", "mcbufeqv"} {
+		s := Spec{Kind: KindVerify, Test: name}
+		if err := s.Normalize(); err != nil {
+			t.Fatalf("design %s rejected: %v", name, err)
+		}
+	}
+	bad := Spec{Kind: KindVerify, Test: "nope"}
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+// TestVerifyJobCachedByteIdentity: the verify kind is a first-class
+// cacheable job — same spec twice yields byte-identical bodies with the
+// second served from the content-addressed cache, and the body carries
+// the fixture's seeded violations.
+func TestVerifyJobCachedByteIdentity(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+	spec := `{"kind":"verify","test":"mcbufeqv"}`
+
+	r1, body1 := post(t, ts.URL+"/jobs?wait=1", spec)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first submit: %s %s", r1.Status, body1)
+	}
+	if hc := r1.Header.Get("X-Cache"); hc != "miss" {
+		t.Fatalf("first submit X-Cache = %q, want miss", hc)
+	}
+	r2, body2 := post(t, ts.URL+"/jobs?wait=1", spec)
+	if hc := r2.Header.Get("X-Cache"); hc != "hit" {
+		t.Fatalf("second submit X-Cache = %q, want hit", hc)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached verify result not byte-identical:\n%s\nvs\n%s", body1, body2)
+	}
+	for _, want := range []string{`"kind": "verify"`, `"deadlock": "violated"`,
+		`"equivalence": "violated"`, "MC-1", "MC-2", `"errors": 2`} {
+		if !bytes.Contains(body1, []byte(want)) {
+			t.Fatalf("verify body missing %q: %s", want, body1)
+		}
+	}
+
+	_, mdata := get(t, ts.URL+"/metrics")
+	ms, err := stats.ParseJSON(mdata)
+	if err != nil {
+		t.Fatalf("bad /metrics payload: %v", err)
+	}
+	if hits := stats.Total(ms, "serve/cache", "hits"); hits != 1 {
+		t.Fatalf("serve/cache hits = %v, want 1", hits)
+	}
+}

@@ -1,0 +1,59 @@
+package verif
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/mc"
+	"repro/internal/sim"
+)
+
+// ModelCheckThenRun is the model-checking analogue of LintThenRun: it
+// bounded-model-checks the elaborated design's latency-insensitive
+// channel graph and uses the verdict to steer the dynamic stall-hunt.
+//
+//   - Both properties proved on a closed model (every endpoint declared,
+//     no environment abstraction): the design cannot deadlock or diverge
+//     under any stall schedule the hunt could inject, so the campaign is
+//     skipped entirely — a proof subsumes the search it would seed.
+//   - Violations found: each counterexample is folded into a
+//     deterministic repro seed and the hunt runs over those seeds, so the
+//     dynamic campaign starts exactly where the checker already knows the
+//     protocol breaks; the checker's error is still returned.
+//   - Anything weaker (bounded, inconclusive, or an open model with env
+//     endpoints): the proof does not cover the design, so the hunt runs
+//     with its caller-chosen seeds (nil).
+//
+// The returned Result lets callers render the report or replay
+// counterexamples regardless of which path was taken.
+func ModelCheckThenRun(s *sim.Simulator, opt mc.Options, hunt func(seeds []int64) error) (*mc.Result, error) {
+	r := mc.Check(s, opt)
+	if r.Err() == nil && r.Proved() && r.Edges > 0 && r.EnvEndpoints == 0 {
+		return r, nil
+	}
+	var seeds []int64
+	for _, cx := range r.Counterexamples {
+		seeds = append(seeds, CounterexampleSeed(cx))
+	}
+	return r, errors.Join(r.Err(), hunt(seeds))
+}
+
+// CounterexampleSeed folds a counterexample's firing schedule into a
+// deterministic stall-injection seed: the same violation always yields
+// the same seed, so a checker-found bug becomes a stable regression
+// entry in a hunt campaign's seed list. The fold is FNV-1a over the
+// schedule's structural content (property, depth, per-cycle fired
+// actors), masked to keep the seed positive.
+func CounterexampleSeed(cx *mc.Counterexample) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s@%d", cx.Property, cx.Depth)
+	for _, st := range cx.Steps {
+		for _, f := range st.Fired {
+			h.Write([]byte(f))
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{1})
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# bench_kernel.sh — regenerate the BENCH_kernel.json measurements.
+#
+# Runs the SoC system-test benchmarks (BenchmarkSoC*) on the sequential
+# event kernel and prints the cycles / cycles-per-sec / edges-per-sec
+# columns to paste into BENCH_kernel.json. The cycles column must match
+# the recorded values exactly on any host (it is simulated time, a
+# determinism guard); the rate columns are wall-clock and belong with a
+# fresh "host"/"recorded" stanza when they move materially.
+#
+# Usage: scripts/bench_kernel.sh [benchtime]   (default 5x)
+set -eu
+
+GO=${GO:-go}
+BENCHTIME=${1:-5x}
+
+cd "$(dirname "$0")/.."
+exec "$GO" test -run xxx -bench 'BenchmarkSoC' -benchtime "$BENCHTIME" .
